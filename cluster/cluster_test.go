@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mvdb"
+)
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Sites=0 accepted")
+	}
+}
+
+func TestUpdateViewRoundTrip(t *testing.T) {
+	c, err := Open(Options{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Update(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// All ten writes landed atomically; BeginReadOnlyAtHome anywhere must
+	// see either all of this transaction or none — anchor at each site.
+	for home := 0; home < 3; home++ {
+		tx, err := c.BeginReadOnlyAtHome(home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		if err := tx.Scan("k", func(string, []byte) bool { seen++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+		if seen != 0 && seen != 10 {
+			t.Fatalf("home %d: torn cross-site commit: saw %d of 10", home, seen)
+		}
+	}
+
+	// A view anchored at a site the transaction touched sees everything.
+	anyKeySite := c.SiteOf("k0")
+	tx, _ := c.BeginReadOnlyAtHome(anyKeySite)
+	n := 0
+	tx.Scan("k", func(string, []byte) bool { n++; return true })
+	tx.Commit()
+	if n != 10 {
+		t.Fatalf("anchored view saw %d of 10", n)
+	}
+}
+
+func TestViewErrorPropagates(t *testing.T) {
+	c, _ := Open(Options{Sites: 2})
+	defer c.Close()
+	sentinel := errors.New("nope")
+	if err := c.View(func(*Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBootstrapAndStats(t *testing.T) {
+	c, _ := Open(Options{Sites: 2})
+	defer c.Close()
+	if err := c.Bootstrap(map[string][]byte{"a": []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.View(func(tx *Tx) error {
+		v, err := tx.Get("a")
+		if err != nil || string(v) != "1" {
+			return fmt.Errorf("got (%q,%v)", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st["commits.ro"] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	if st["bus.messages"] == 0 {
+		t.Fatal("no bus messages counted")
+	}
+}
+
+func TestConcurrentUpdatesConserve(t *testing.T) {
+	c, _ := Open(Options{Sites: 3})
+	defer c.Close()
+	const n = 10
+	boot := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		boot[fmt.Sprintf("acct%d", i)] = []byte{100}
+	}
+	c.Bootstrap(boot)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				from := fmt.Sprintf("acct%d", (w+i)%n)
+				to := fmt.Sprintf("acct%d", (w+i+1)%n)
+				err := c.Update(func(tx *Tx) error {
+					fv, err := tx.Get(from)
+					if err != nil {
+						return err
+					}
+					if fv[0] == 0 {
+						return nil
+					}
+					tv, err := tx.Get(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Put(from, []byte{fv[0] - 1}); err != nil {
+						return err
+					}
+					return tx.Put(to, []byte{tv[0] + 1})
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	c.View(func(tx *Tx) error {
+		return tx.Scan("acct", func(_ string, v []byte) bool {
+			total += int(v[0])
+			return true
+		})
+	})
+	if total != n*100 {
+		t.Fatalf("total = %d, want %d", total, n*100)
+	}
+}
+
+func TestScanRequiresReadOnly(t *testing.T) {
+	c, _ := Open(Options{Sites: 1})
+	defer c.Close()
+	tx, _ := c.Begin()
+	err := tx.Scan("x", func(string, []byte) bool { return true })
+	if !errors.Is(err, mvdb.ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+	tx.Abort()
+}
+
+func TestDurableClusterCrashRecovery(t *testing.T) {
+	c, err := Open(Options{Sites: 2, WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Update(func(tx *Tx) error { return tx.Put("k", []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	site := c.SiteOf("k")
+	if err := c.CrashSite(site); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecoverSite(site); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := c.View(func(tx *Tx) error {
+		v, err := tx.Get("k")
+		got = string(v)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "v" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,60 @@
+// Command mvbench regenerates the experiment tables in EXPERIMENTS.md:
+// every comparative claim of the paper (Sections 1, 2, 6) measured
+// against the re-implemented baselines, plus the micro-benchmarks of the
+// version control module itself.
+//
+// Usage:
+//
+//	mvbench [-experiment all|f1|e1|e2|e3|e4|e5|e6|e7|e8] [-quick]
+//
+// Each experiment prints one or more plain-text tables. Absolute numbers
+// depend on the machine (these are CPU-bound simulations, not the paper's
+// 1989 testbed); the qualitative shape — who wins, what is zero, what
+// grows — is the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (f1, e1..e8) or 'all'")
+		quick = flag.Bool("quick", false, "smaller runs (CI-sized)")
+	)
+	flag.Parse()
+
+	experiments := []struct {
+		id   string
+		name string
+		run  func(quick bool)
+	}{
+		{"f1", "Figure 1: version control module microbenchmark", runF1},
+		{"e1", "E1: read-only transaction overhead per engine", runE1},
+		{"e2", "E2: read-write aborts caused by read-only transactions", runE2},
+		{"e3", "E3: read-only blocking behind writers", runE3},
+		{"e4", "E4: snapshot start cost — VCstart vs CTL copy", runE4},
+		{"e5", "E5: throughput sweep (read-only share x contention)", runE5},
+		{"e6", "E6: delayed visibility and its rectification", runE6},
+		{"e7", "E7: version garbage collection", runE7},
+		{"e8", "E8: distributed version control", runE8},
+		{"a3", "A3: adaptive concurrency control (switching CC under a fixed VC)", runA3},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *which != "all" && !strings.EqualFold(*which, e.id) {
+			continue
+		}
+		fmt.Printf("\n######## %s ########\n\n", e.name)
+		e.run(*quick)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,87 @@
+package mvdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"mvdb"
+)
+
+// The basic write-then-read cycle.
+func ExampleDB_Update() {
+	db, err := mvdb.Open(mvdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Update(func(tx *mvdb.Tx) error {
+		return tx.PutString("greeting", "hello, 1989")
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.View(func(tx *mvdb.Tx) error {
+		v, _ := tx.GetString("greeting")
+		fmt.Println(v)
+		return nil
+	})
+	// Output: hello, 1989
+}
+
+// Snapshots are stable: a read-only transaction keeps seeing the state as
+// of its begin, while writers proceed unhindered.
+func ExampleDB_BeginReadOnly() {
+	db, _ := mvdb.Open(mvdb.Options{})
+	defer db.Close()
+	db.Update(func(tx *mvdb.Tx) error { return tx.PutString("k", "old") })
+
+	snapshot, _ := db.BeginReadOnly()
+	db.Update(func(tx *mvdb.Tx) error { return tx.PutString("k", "new") })
+
+	was, _ := snapshot.GetString("k")
+	snapshot.Commit()
+	var now string
+	db.View(func(tx *mvdb.Tx) error { now, _ = tx.GetString("k"); return nil })
+	fmt.Println(was, now)
+	// Output: old new
+}
+
+// Read-your-writes across transactions via the committed transaction
+// number (the paper's Section 6 recency rectification).
+func ExampleDB_BeginReadOnlyAt() {
+	db, _ := mvdb.Open(mvdb.Options{})
+	defer db.Close()
+
+	tx, _ := db.Begin()
+	tx.PutString("mine", "v1")
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	tn, _ := tx.TN()
+
+	ro, _ := db.BeginReadOnlyAt(tn) // snapshot pinned at my commit
+	v, _ := ro.GetString("mine")
+	ro.Commit()
+	fmt.Println(v)
+	// Output: v1
+}
+
+// Ordered prefix scans over a consistent snapshot.
+func ExampleTx_Scan() {
+	db, _ := mvdb.Open(mvdb.Options{})
+	defer db.Close()
+	db.Update(func(tx *mvdb.Tx) error {
+		tx.PutString("fruit/banana", "3")
+		tx.PutString("fruit/apple", "5")
+		return tx.PutString("veg/leek", "9")
+	})
+	db.View(func(tx *mvdb.Tx) error {
+		return tx.Scan("fruit/", func(k string, v []byte) bool {
+			fmt.Printf("%s=%s\n", k, v)
+			return true
+		})
+	})
+	// Output:
+	// fruit/apple=5
+	// fruit/banana=3
+}

@@ -1,0 +1,254 @@
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/history"
+)
+
+func TestStartsOptimisticByDefault(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	if e.Protocol() != core.Optimistic {
+		t.Fatalf("protocol = %v", e.Protocol())
+	}
+	if e.Name() != "adaptive(vc+occ)" {
+		t.Fatalf("name = %q", e.Name())
+	}
+}
+
+func TestBasicTransactions(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	tx, err := e.Begin(engine.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ro, _ := e.Begin(engine.ReadOnly)
+	if v, err := ro.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("Get = (%q,%v)", v, err)
+	}
+	ro.Commit()
+}
+
+func TestManualSwitchDrainsWriters(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	e.Bootstrap(map[string][]byte{"k": []byte("v")})
+
+	// An active rw transaction delays the switch.
+	tx, _ := e.Begin(engine.ReadWrite)
+	if err := tx.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	switched := make(chan struct{})
+	go func() {
+		e.SwitchTo(core.TwoPhaseLocking)
+		close(switched)
+	}()
+	select {
+	case <-switched:
+		t.Fatal("switch completed with an active writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Read-only transactions are untouched by the pending switch.
+	roDone := make(chan error)
+	go func() {
+		ro, err := e.Begin(engine.ReadOnly)
+		if err != nil {
+			roDone <- err
+			return
+		}
+		_, err = ro.Get("k")
+		ro.Commit()
+		roDone <- err
+	}()
+	select {
+	case err := <-roDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read-only transaction blocked by a protocol switch")
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-switched:
+	case <-time.After(2 * time.Second):
+		t.Fatal("switch never completed after drain")
+	}
+	if e.Protocol() != core.TwoPhaseLocking {
+		t.Fatalf("protocol = %v", e.Protocol())
+	}
+	if e.Switches() != 1 {
+		t.Fatalf("switches = %d", e.Switches())
+	}
+}
+
+func TestSwitchToSameProtocolIsNoop(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	e.SwitchTo(core.Optimistic)
+	if e.Switches() != 0 {
+		t.Fatal("no-op switch counted")
+	}
+}
+
+func TestPolicySwitchesUnderContention(t *testing.T) {
+	e := New(Options{Window: 16, HighWater: 0.2})
+	defer e.Close()
+	e.Bootstrap(map[string][]byte{"hot": []byte("0")})
+
+	// Hammer one key from many goroutines with think time: OCC validation
+	// fails constantly, so the policy must move to 2PL.
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				tx, err := e.Begin(engine.ReadWrite)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tx.Get("hot"); err != nil && !errors.Is(err, engine.ErrNotFound) {
+					if engine.Retryable(err) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+				if err := tx.Put("hot", []byte{byte(i)}); err != nil {
+					if engine.Retryable(err) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				tx.Commit() // conflict aborts are fine
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Protocol() != core.TwoPhaseLocking {
+		t.Fatalf("policy did not switch to 2PL (protocol=%v, switches=%d, stats=%v)",
+			e.Protocol(), e.Switches(), e.Stats())
+	}
+}
+
+// Serializability must hold ACROSS protocol switches: transactions
+// committed under OCC and under 2PL share one history and one MVSG check.
+func TestSerializableAcrossSwitches(t *testing.T) {
+	rec := history.NewRecorder()
+	e := New(Options{Core: core.Options{Recorder: rec}, Window: 8, HighWater: 0.10, LowWater: 0.01})
+	defer e.Close()
+	const nKeys = 8
+	boot := map[string][]byte{}
+	for i := 0; i < nKeys; i++ {
+		boot[fmt.Sprintf("acct%d", i)] = []byte{50}
+	}
+	e.Bootstrap(boot)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				from := fmt.Sprintf("acct%d", (w+i)%nKeys)
+				to := fmt.Sprintf("acct%d", (w+i+3)%nKeys)
+				for attempt := 0; attempt < 100; attempt++ {
+					tx, _ := e.Begin(engine.ReadWrite)
+					fv, err := tx.Get(from)
+					if err != nil {
+						tx.Abort()
+						if engine.Retryable(err) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					tv, err := tx.Get(to)
+					if err != nil {
+						tx.Abort()
+						if engine.Retryable(err) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					if fv[0] == 0 {
+						tx.Abort()
+						break
+					}
+					if err := tx.Put(from, []byte{fv[0] - 1}); err != nil {
+						continue
+					}
+					if err := tx.Put(to, []byte{tv[0] + 1}); err != nil {
+						continue
+					}
+					if err := tx.Commit(); err == nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	// Force a few manual switches mid-flight for good measure.
+	for i := 0; i < 6; i++ {
+		time.Sleep(5 * time.Millisecond)
+		if i%2 == 0 {
+			e.SwitchTo(core.TwoPhaseLocking)
+		} else {
+			e.SwitchTo(core.Optimistic)
+		}
+	}
+	wg.Wait()
+
+	total := 0
+	ro, _ := e.Begin(engine.ReadOnly)
+	for i := 0; i < nKeys; i++ {
+		v, err := ro.Get(fmt.Sprintf("acct%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int(v[0])
+	}
+	ro.Commit()
+	if total != nKeys*50 {
+		t.Fatalf("balance not conserved across switches: %d", total)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("cross-protocol history not 1SR: %v", err)
+	}
+	if e.Switches() == 0 {
+		t.Fatal("no switches exercised")
+	}
+}
+
+func TestStatsVocabulary(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	st := e.Stats()
+	if _, ok := st["adaptive.switches"]; !ok {
+		t.Fatalf("stats = %v", st)
+	}
+}

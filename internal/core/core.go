@@ -1,0 +1,403 @@
+// Package core implements the paper's primary contribution: multiversion
+// transaction engines in which synchronization is split into a version
+// control module (internal/vc) and a pluggable conflict-based concurrency
+// control component.
+//
+// Three engines are provided, corresponding to the paper's Section 4:
+//
+//   - VC+2PL  (Figure 4): two-phase locking; transactions register with
+//     version control at their lock-point (here: at end of execution,
+//     when all locks are held).
+//   - VC+T/O  (Figure 3): timestamp ordering; transactions register at
+//     begin, since their serial position is fixed a priori.
+//   - VC+OCC  (Section 4, referencing the authors' earlier work):
+//     optimistic execution with backward validation; transactions
+//     register inside the validation critical section.
+//
+// Read-only transactions are identical under all three engines — one call
+// to VCstart, then snapshot reads (Figure 2) — which is precisely the
+// modularity the paper advertises: their execution is "completely
+// independent of the underlying concurrency control implementation".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lock"
+	"mvdb/internal/storage"
+	"mvdb/internal/vc"
+	"mvdb/internal/wal"
+)
+
+// Protocol selects the concurrency-control component for read-write
+// transactions.
+type Protocol int
+
+const (
+	// TwoPhaseLocking is the VC+2PL engine (paper Figure 4).
+	TwoPhaseLocking Protocol = iota
+	// TimestampOrdering is the VC+T/O engine (paper Figure 3).
+	TimestampOrdering
+	// Optimistic is the VC+OCC engine.
+	Optimistic
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case TwoPhaseLocking:
+		return "vc+2pl"
+	case TimestampOrdering:
+		return "vc+to"
+	case Optimistic:
+		return "vc+occ"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Protocol selects the read-write concurrency control. Default: 2PL.
+	Protocol Protocol
+	// LockPolicy selects deadlock handling for 2PL (default: Detect).
+	LockPolicy lock.Policy
+	// LockTimeout applies when LockPolicy is lock.TimeoutPolicy.
+	LockTimeout time.Duration
+	// Shards is the store shard count (0 = default).
+	Shards int
+	// Recorder receives history events for offline checking (tests).
+	Recorder engine.Recorder
+	// TrackReadOnly registers active read-only transactions so garbage
+	// collection can compute a safe watermark. It adds a small cost to
+	// the read-only begin/end path and is therefore optional.
+	TrackReadOnly bool
+	// WAL, when non-nil, makes commits durable: each read-write commit
+	// appends one record (transaction number + write set) to the log
+	// before its versions are installed. Use Recover to rebuild an
+	// engine from such a log.
+	WAL *wal.Writer
+
+	// UnsafeEarlyRegister2PL is ablation A1: it makes the 2PL engine
+	// register transactions with version control at begin instead of at
+	// the lock-point. The paper requires registration only once the
+	// serial order is fixed; this flag deliberately violates that and is
+	// used by tests to show the history checker catches the violation.
+	UnsafeEarlyRegister2PL bool
+	// UnsafeEagerVisibility is ablation A2: vtnc advances in completion
+	// order rather than serialization order, violating the Transaction
+	// Visibility Property. Test-only.
+	UnsafeEagerVisibility bool
+}
+
+// Engine is a multiversion engine with modular version control. It
+// implements engine.Engine.
+type Engine struct {
+	opts     Options
+	protocol atomic.Int32 // current Protocol; swappable via SetProtocol
+	store    *storage.Store
+	vc       *vc.Controller
+	locks    *lock.Manager // 2PL only
+	valMu    sync.Mutex    // OCC validation critical section
+	rec      engine.Recorder
+
+	ids  atomic.Uint64 // transaction id allocator (diagnostics, lock owner)
+	ages atomic.Uint64 // begin-order sequence for wound-wait
+
+	roActive roRegistry
+
+	commitsRO       atomic.Uint64
+	commitsRW       atomic.Uint64
+	abortsConflict  atomic.Uint64
+	abortsDeadlock  atomic.Uint64
+	abortsWounded   atomic.Uint64
+	abortsUser      atomic.Uint64
+	abortsByRO      atomic.Uint64 // rw aborts attributable to read-only txns
+	roBlocked       atomic.Uint64 // read-only reads that blocked (always 0 here)
+	recencyWaits    atomic.Uint64
+	closed          atomic.Bool
+	bootstrapSealed atomic.Bool
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	e := &Engine{
+		opts:  opts,
+		store: storage.NewStore(opts.Shards),
+		vc:    vc.New(0),
+		rec:   opts.Recorder,
+	}
+	if e.rec == nil {
+		e.rec = engine.NopRecorder{}
+	}
+	// The lock manager exists regardless of the initial protocol so that
+	// SetProtocol can swap to two-phase locking later.
+	e.locks = lock.NewManager(opts.LockPolicy, opts.LockTimeout)
+	e.protocol.Store(int32(opts.Protocol))
+	e.roActive.init()
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.Protocol().String() }
+
+// Protocol returns the concurrency control currently in force for new
+// read-write transactions.
+func (e *Engine) Protocol() Protocol { return Protocol(e.protocol.Load()) }
+
+// SetProtocol swaps the concurrency control used by SUBSEQUENT read-write
+// transactions. The caller must guarantee that no read-write transaction
+// is active (internal/adaptive enforces this with an epoch barrier);
+// read-only transactions need no quiescence at all — their execution is
+// independent of the concurrency control component, which is exactly the
+// modularity the paper advertises (Section 1: "more experimentation ...
+// in areas such as ... adaptive concurrency control schemes without
+// introducing major modifications to the entire protocol").
+func (e *Engine) SetProtocol(p Protocol) {
+	e.protocol.Store(int32(p))
+}
+
+// Store exposes the underlying store (garbage collection, tools).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// VC exposes the version control module (experiments, garbage collection).
+func (e *Engine) VC() *vc.Controller { return e.vc }
+
+// VTNC returns the current visibility horizon (it satisfies gc.Source).
+func (e *Engine) VTNC() uint64 { return e.vc.VTNC() }
+
+// Bootstrap loads key/value pairs as version 0, before any transactions.
+func (e *Engine) Bootstrap(data map[string][]byte) error {
+	if e.bootstrapSealed.Load() {
+		return errors.New("core: Bootstrap after first transaction")
+	}
+	for k, v := range data {
+		e.store.Bootstrap(k, v)
+	}
+	return nil
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin(class engine.Class) (engine.Tx, error) {
+	if e.closed.Load() {
+		return nil, errors.New("core: engine closed")
+	}
+	e.bootstrapSealed.Store(true)
+	id := e.ids.Add(1)
+	if class == engine.ReadOnly {
+		return e.beginReadOnly(id, 0), nil
+	}
+	switch p := e.Protocol(); p {
+	case TwoPhaseLocking:
+		return e.beginTwoPhase(id), nil
+	case TimestampOrdering:
+		return e.beginTimestamp(id), nil
+	case Optimistic:
+		return e.beginOptimistic(id), nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %v", p)
+	}
+}
+
+// BeginReadOnlyRecent starts a read-only transaction that is guaranteed to
+// observe every read-write transaction serialized before the call. This is
+// the first rectification of delayed visibility from Section 6 of the
+// paper: the start number is forced to be at least the most recently
+// assigned transaction number, waiting for visibility to catch up.
+func (e *Engine) BeginReadOnlyRecent() (engine.Tx, error) {
+	return e.BeginReadOnlyAt(e.vc.TNC() - 1)
+}
+
+// BeginReadOnlyAt starts a read-only transaction whose snapshot is pinned
+// at exactly serialization position sn, waiting until that position
+// becomes visible if it is in the future (Section 6: "ensuring that R be
+// executed with a value of sn(R) which is at least as large as tn(T)").
+// Two uses: pass the TN of a committed transaction (Tx.SN after Commit)
+// for read-your-writes, or a historical position for time travel — any
+// position whose versions have not been garbage-collected reads
+// consistently.
+func (e *Engine) BeginReadOnlyAt(sn uint64) (engine.Tx, error) {
+	if e.closed.Load() {
+		return nil, errors.New("core: engine closed")
+	}
+	e.bootstrapSealed.Store(true)
+	if e.vc.VTNC() < sn {
+		e.recencyWaits.Add(1)
+		e.vc.WaitVisible(sn)
+	}
+	return e.beginReadOnly(e.ids.Add(1), sn), nil
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() map[string]int64 {
+	m := map[string]int64{
+		"commits.ro":      int64(e.commitsRO.Load()),
+		"commits.rw":      int64(e.commitsRW.Load()),
+		"aborts.conflict": int64(e.abortsConflict.Load()),
+		"aborts.deadlock": int64(e.abortsDeadlock.Load()),
+		"aborts.wounded":  int64(e.abortsWounded.Load()),
+		"aborts.user":     int64(e.abortsUser.Load()),
+		"rw.aborts.by_ro": int64(e.abortsByRO.Load()),
+		"ro.blocked":      int64(e.roBlocked.Load()),
+		"ro.recency_wait": int64(e.recencyWaits.Load()),
+		"vc.lag":          int64(e.vc.Lag()),
+		"vc.queue":        int64(e.vc.QueueLen()),
+		"store.waits":     int64(e.store.TotalWaits()),
+	}
+	if e.locks != nil {
+		m["lock.waits"] = int64(e.locks.Waits())
+		m["lock.deadlocks"] = int64(e.locks.Deadlocks())
+		m["lock.wounds"] = int64(e.locks.Wounds())
+		m["lock.timeouts"] = int64(e.locks.Timeouts())
+	}
+	return m
+}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+// MinActiveReadOnlySN returns the smallest start number among active
+// read-only transactions and whether any are active. Valid only with
+// Options.TrackReadOnly; the garbage collector combines it with vtnc to
+// compute its watermark.
+func (e *Engine) MinActiveReadOnlySN() (uint64, bool) {
+	return e.roActive.min()
+}
+
+// appendWAL logs a committed write set ahead of installation. A log
+// failure is returned to the caller, whose transaction must abort: a
+// commit that is not durable must not become visible.
+func (e *Engine) appendWAL(tn uint64, buf map[string]bufWrite) error {
+	if e.opts.WAL == nil {
+		return nil
+	}
+	rec := wal.Record{TN: tn, Writes: make([]wal.Write, 0, len(buf))}
+	for k, w := range buf {
+		rec.Writes = append(rec.Writes, wal.Write{Key: k, Value: w.data, Tombstone: w.tombstone})
+	}
+	return e.opts.WAL.Append(rec)
+}
+
+// Recover rebuilds an engine from a write-ahead log: every intact commit
+// record is replayed into the version store, and the version control
+// module resumes with tnc just past the largest recovered transaction
+// number (everything recovered is immediately visible). It returns the
+// engine and the valid log length to pass to wal.OpenAppend. opts.WAL is
+// typically set afterwards, once the log is reopened for appending.
+func Recover(path string, opts Options) (*Engine, int64, error) {
+	return Restore(nil, 0, path, opts)
+}
+
+// Restore rebuilds an engine from a base state (e.g. a checkpoint
+// snapshot) plus a write-ahead log. Log records with TN <= horizon are
+// skipped: they are already reflected in the base. The base records are
+// installed verbatim (their TNs must not exceed horizon unless horizon is
+// zero).
+func Restore(base []wal.Record, horizon uint64, path string, opts Options) (*Engine, int64, error) {
+	e := New(opts)
+	maxTN := horizon
+	install := func(r wal.Record) {
+		for _, w := range r.Writes {
+			e.store.GetOrCreate(w.Key).InstallCommitted(storage.Version{
+				TN: r.TN, Data: w.Value, Tombstone: w.Tombstone,
+			})
+		}
+		if r.TN > maxTN {
+			maxTN = r.TN
+		}
+	}
+	for _, r := range base {
+		install(r)
+	}
+	validLen, err := wal.Replay(path, func(r wal.Record) error {
+		if r.TN <= horizon {
+			return nil // covered by the base snapshot
+		}
+		install(r)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	e.vc = vc.New(maxTN)
+	return e, validLen, nil
+}
+
+// SetWAL attaches a log writer (used after Recover + OpenAppend). It must
+// be called before the first transaction.
+func (e *Engine) SetWAL(w *wal.Writer) error {
+	if e.bootstrapSealed.Load() {
+		return errors.New("core: SetWAL after first transaction")
+	}
+	e.opts.WAL = w
+	return nil
+}
+
+// complete routes a completion through either the correct Figure 1 path
+// or the ablated (A2) eager path.
+func (e *Engine) complete(entry *vc.Entry) {
+	if e.opts.UnsafeEagerVisibility {
+		e.vc.UnsafeCompleteEager(entry)
+		return
+	}
+	e.vc.Complete(entry)
+}
+
+// roRegistry tracks active read-only transactions for GC watermarks.
+// It is sharded to keep the (optional) cost off the read-only fast path
+// as much as possible.
+type roRegistry struct {
+	enabled bool
+	shards  [16]roShard
+	ctr     atomic.Uint64
+}
+
+type roShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64 // token -> sn
+}
+
+func (r *roRegistry) init() {
+	for i := range r.shards {
+		r.shards[i].m = make(map[uint64]uint64)
+	}
+}
+
+func (r *roRegistry) add(sn uint64) (token uint64) {
+	token = r.ctr.Add(1)
+	sh := &r.shards[token%uint64(len(r.shards))]
+	sh.mu.Lock()
+	sh.m[token] = sn
+	sh.mu.Unlock()
+	return token
+}
+
+func (r *roRegistry) remove(token uint64) {
+	sh := &r.shards[token%uint64(len(r.shards))]
+	sh.mu.Lock()
+	delete(sh.m, token)
+	sh.mu.Unlock()
+}
+
+func (r *roRegistry) min() (uint64, bool) {
+	var m uint64
+	found := false
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, sn := range sh.m {
+			if !found || sn < m {
+				m, found = sn, true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return m, found
+}

@@ -1,0 +1,149 @@
+// Package engine defines the interface every transaction engine in this
+// repository implements — the three version-control engines (VC+2PL,
+// VC+T/O, VC+OCC) and the three baselines (Reed MVTO, Chan MV2PL-CTL,
+// single-version 2PL). The benchmark harness, the correctness checker and
+// the public API all program against this interface, which is what lets
+// one experiment sweep every protocol (EXPERIMENTS.md).
+package engine
+
+import "errors"
+
+// Class tells the engine whether a transaction will write. The paper
+// (Section 4.1) requires this classification up front; a transaction of
+// unknown class must be declared ReadWrite.
+type Class int
+
+const (
+	// ReadWrite transactions may read and write; they are serialized by
+	// the engine's concurrency-control component.
+	ReadWrite Class = iota
+	// ReadOnly transactions never write. Under the paper's version
+	// control they bypass concurrency control entirely.
+	ReadOnly
+)
+
+func (c Class) String() string {
+	if c == ReadOnly {
+		return "read-only"
+	}
+	return "read-write"
+}
+
+// Sentinel errors. ErrConflict, ErrDeadlock and ErrWounded mean the
+// transaction was aborted by the engine and may be retried; the harness
+// and the public API's Update helper do exactly that.
+var (
+	// ErrConflict reports a synchronization conflict (timestamp-ordering
+	// rejection, failed optimistic validation, ...).
+	ErrConflict = errors.New("engine: transaction aborted due to conflict")
+	// ErrDeadlock reports the transaction was chosen as a deadlock victim.
+	ErrDeadlock = errors.New("engine: transaction aborted to break a deadlock")
+	// ErrWounded reports the transaction was aborted by an older one
+	// under the wound-wait policy.
+	ErrWounded = errors.New("engine: transaction wounded by an older transaction")
+	// ErrNotFound reports the key does not exist at the transaction's
+	// read point.
+	ErrNotFound = errors.New("engine: key not found")
+	// ErrReadOnly reports a write attempted by a read-only transaction.
+	ErrReadOnly = errors.New("engine: write in read-only transaction")
+	// ErrTxDone reports use of a transaction after Commit or Abort.
+	ErrTxDone = errors.New("engine: transaction already finished")
+)
+
+// Retryable reports whether err is a transient abort that the caller may
+// retry with a fresh transaction.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDeadlock) || errors.Is(err, ErrWounded)
+}
+
+// Tx is one transaction. Implementations are not safe for concurrent use
+// by multiple goroutines (one transaction = one client), matching the
+// paper's model.
+type Tx interface {
+	// Get returns the value of key visible to this transaction, or
+	// ErrNotFound. Under read-only transactions this is the Figure 2
+	// rule: the largest version <= the start number.
+	Get(key string) ([]byte, error)
+	// Put installs a new value for key (ErrReadOnly for read-only txns).
+	Put(key string, value []byte) error
+	// Delete removes key by writing a tombstone version.
+	Delete(key string) error
+	// Commit makes the transaction's effects durable and visible per the
+	// engine's protocol. After Commit the transaction is finished.
+	Commit() error
+	// Abort discards the transaction's effects. Safe to call after a
+	// failed operation; idempotent after Commit/Abort.
+	Abort()
+	// ID returns a unique transaction identifier (diagnostics).
+	ID() uint64
+	// Class returns the declared class.
+	Class() Class
+	// SN returns the transaction's start number (snapshot position) if it
+	// has one; read-write 2PL transactions return (0, false) until commit.
+	SN() (uint64, bool)
+}
+
+// Scanner is implemented by transactions that support ordered prefix
+// scans. Snapshot (read-only) transactions implement it naturally — the
+// scan is just repeated snapshot reads; read-write transactions generally
+// do not (a serializable scan would need predicate locking).
+type Scanner interface {
+	// Scan calls fn for every live key with the given prefix, in
+	// ascending key order, at the transaction's snapshot. fn returning
+	// false stops the scan.
+	Scan(prefix string, fn func(key string, value []byte) bool) error
+}
+
+// Engine is a transaction engine over a key-value store.
+type Engine interface {
+	// Name identifies the protocol (for reports), e.g. "vc+2pl".
+	Name() string
+	// Begin starts a transaction of the given class.
+	Begin(class Class) (Tx, error)
+	// Stats returns a snapshot of engine counters. Keys are
+	// engine-specific but the harness understands the common ones:
+	// "commits.rw", "commits.ro", "aborts.conflict", "aborts.deadlock",
+	// "aborts.wounded", "ro.blocked", "rw.aborts.by_ro".
+	Stats() map[string]int64
+	// Close releases background resources (GC goroutines etc.).
+	Close() error
+}
+
+// Recorder observes committed operations for offline correctness
+// checking. Engines call it only when one is attached (tests); a nil
+// Recorder must be tolerated by using NopRecorder instead.
+type Recorder interface {
+	// RecordBegin notes a transaction's class and, for snapshot readers,
+	// its start number.
+	RecordBegin(txID uint64, class Class)
+	// RecordRead notes that txID read the version of key created by
+	// transaction number versionTN (0 = bootstrap version).
+	RecordRead(txID uint64, key string, versionTN uint64)
+	// RecordWrite notes that txID created version versionTN of key.
+	// Engines that assign numbers at commit (2PL) call this during
+	// Commit, before RecordCommit.
+	RecordWrite(txID uint64, key string, versionTN uint64)
+	// RecordCommit notes txID committed with serialization number tn.
+	// Read-only transactions pass their start number.
+	RecordCommit(txID uint64, tn uint64)
+	// RecordAbort notes txID aborted; its writes must be disregarded.
+	RecordAbort(txID uint64)
+}
+
+// NopRecorder is a Recorder that records nothing.
+type NopRecorder struct{}
+
+// RecordBegin implements Recorder.
+func (NopRecorder) RecordBegin(uint64, Class) {}
+
+// RecordRead implements Recorder.
+func (NopRecorder) RecordRead(uint64, string, uint64) {}
+
+// RecordWrite implements Recorder.
+func (NopRecorder) RecordWrite(uint64, string, uint64) {}
+
+// RecordCommit implements Recorder.
+func (NopRecorder) RecordCommit(uint64, uint64) {}
+
+// RecordAbort implements Recorder.
+func (NopRecorder) RecordAbort(uint64) {}

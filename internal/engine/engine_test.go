@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRetryable(t *testing.T) {
+	for _, err := range []error{ErrConflict, ErrDeadlock, ErrWounded} {
+		if !Retryable(err) {
+			t.Errorf("Retryable(%v) = false", err)
+		}
+		if !Retryable(fmt.Errorf("wrapped: %w", err)) {
+			t.Errorf("Retryable(wrapped %v) = false", err)
+		}
+	}
+	for _, err := range []error{ErrNotFound, ErrReadOnly, ErrTxDone, nil, errors.New("other")} {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true", err)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ReadOnly.String() != "read-only" || ReadWrite.String() != "read-write" {
+		t.Fatalf("class strings: %q %q", ReadOnly, ReadWrite)
+	}
+}
+
+func TestNopRecorderIsInert(t *testing.T) {
+	var r Recorder = NopRecorder{}
+	r.RecordBegin(1, ReadWrite)
+	r.RecordRead(1, "k", 0)
+	r.RecordWrite(1, "k", 1)
+	r.RecordCommit(1, 1)
+	r.RecordAbort(2)
+}

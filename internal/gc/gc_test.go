@@ -1,0 +1,152 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+)
+
+func fill(t *testing.T, e *core.Engine, key string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tx, err := e.Begin(engine.ReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCollectPrunesOldVersions(t *testing.T) {
+	e := core.New(core.Options{Protocol: core.TwoPhaseLocking, TrackReadOnly: true})
+	defer e.Close()
+	fill(t, e, "k", 50)
+	if got := e.Store().TotalVersions(); got != 50 {
+		t.Fatalf("versions before GC = %d, want 50", got)
+	}
+	c := New(e, 0)
+	pruned := c.Collect()
+	if pruned != 49 {
+		t.Fatalf("pruned = %d, want 49", pruned)
+	}
+	if got := e.Store().TotalVersions(); got != 1 {
+		t.Fatalf("versions after GC = %d, want 1", got)
+	}
+	// The surviving version is still readable.
+	ro, _ := e.Begin(engine.ReadOnly)
+	v, err := ro.Get("k")
+	if err != nil || string(v) != "v49" {
+		t.Fatalf("Get = (%q,%v), want v49", v, err)
+	}
+	ro.Commit()
+	if c.Pruned() != 49 || c.Passes() != 1 {
+		t.Fatalf("counters = (%d,%d)", c.Pruned(), c.Passes())
+	}
+}
+
+// An active read-only transaction holds the watermark back: versions it
+// can reach must survive (paper Section 6 refined).
+func TestActiveReadOnlyHoldsWatermark(t *testing.T) {
+	e := core.New(core.Options{Protocol: core.TwoPhaseLocking, TrackReadOnly: true})
+	defer e.Close()
+	fill(t, e, "k", 10)
+	ro, _ := e.Begin(engine.ReadOnly) // snapshot at version 10
+	fill(t, e, "k", 10)               // versions 11..20
+
+	c := New(e, 0)
+	c.Collect()
+	// Watermark = ro's sn (10): versions 10..20 survive (plus none below).
+	if got := e.Store().Get("k").VersionCount(); got != 11 {
+		t.Fatalf("versions = %d, want 11", got)
+	}
+	if v, err := ro.Get("k"); err != nil || string(v) != "v9" {
+		t.Fatalf("old snapshot Get = (%q,%v), want v9", v, err)
+	}
+	ro.Commit()
+	c.Collect()
+	if got := e.Store().Get("k").VersionCount(); got != 1 {
+		t.Fatalf("versions after release = %d, want 1", got)
+	}
+}
+
+func TestWatermarkUsesMinOfVTNCAndRO(t *testing.T) {
+	e := core.New(core.Options{Protocol: core.TwoPhaseLocking, TrackReadOnly: true})
+	defer e.Close()
+	fill(t, e, "k", 5)
+	c := New(e, 0)
+	if w := c.Watermark(); w != 5 {
+		t.Fatalf("watermark = %d, want 5 (vtnc)", w)
+	}
+	ro, _ := e.Begin(engine.ReadOnly)
+	fill(t, e, "k", 3)
+	if w := c.Watermark(); w != 5 {
+		t.Fatalf("watermark = %d, want 5 (held by ro)", w)
+	}
+	ro.Commit()
+	if w := c.Watermark(); w != 8 {
+		t.Fatalf("watermark = %d, want 8", w)
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	e := core.New(core.Options{Protocol: core.TimestampOrdering, TrackReadOnly: true})
+	defer e.Close()
+	c := New(e, time.Millisecond)
+	c.Start()
+	c.Start() // idempotent
+	defer c.Stop()
+
+	fill(t, e, "k", 100)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Store().Get("k").VersionCount() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background GC never caught up: %d versions", e.Store().Get("k").VersionCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if c.Passes() == 0 {
+		t.Fatal("no passes recorded")
+	}
+}
+
+// GC under concurrent load must never break snapshot reads.
+func TestGCConcurrentWithReaders(t *testing.T) {
+	e := core.New(core.Options{Protocol: core.TwoPhaseLocking, TrackReadOnly: true})
+	defer e.Close()
+	fill(t, e, "k", 1)
+	c := New(e, time.Millisecond)
+	c.Start()
+	defer c.Stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			tx, _ := e.Begin(engine.ReadWrite)
+			tx.Put("k", []byte(fmt.Sprintf("v%d", i)))
+			tx.Commit()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		ro, _ := e.Begin(engine.ReadOnly)
+		if _, err := ro.Get("k"); err != nil {
+			t.Fatalf("snapshot read failed under GC: %v", err)
+		}
+		ro.Commit()
+	}
+}

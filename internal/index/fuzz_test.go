@@ -1,0 +1,27 @@
+package index
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPrefixUpperBound: for any prefix and key, key having the prefix
+// implies prefix <= key < upperBound (when a bound exists), and keys
+// outside that window never have the prefix.
+func FuzzPrefixUpperBound(f *testing.F) {
+	f.Add("a", "abc")
+	f.Add("", "anything")
+	f.Add("\xff", "\xff\x00")
+	f.Add("k0", "k00")
+	f.Fuzz(func(t *testing.T, prefix, key string) {
+		ub := prefixUpperBound(prefix)
+		has := strings.HasPrefix(key, prefix)
+		inWindow := key >= prefix && (ub == "" || key < ub)
+		if has && !inWindow {
+			t.Fatalf("key %q has prefix %q but outside window [%q,%q)", key, prefix, prefix, ub)
+		}
+		if !has && inWindow && prefix != "" {
+			t.Fatalf("key %q lacks prefix %q but inside window [%q,%q)", key, prefix, prefix, ub)
+		}
+	})
+}

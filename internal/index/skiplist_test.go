@@ -1,0 +1,215 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndContains(t *testing.T) {
+	s := New(1)
+	if !s.Insert("b") || !s.Insert("a") || !s.Insert("c") {
+		t.Fatal("fresh inserts reported duplicate")
+	}
+	if s.Insert("b") {
+		t.Fatal("duplicate insert reported new")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if !s.Contains(k) {
+			t.Fatalf("missing %q", k)
+		}
+	}
+	if s.Contains("d") || s.Contains("") {
+		t.Fatal("phantom membership")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	s := New(2)
+	want := []string{"alpha", "beta", "delta", "gamma", "omega"}
+	for _, k := range []string{"gamma", "alpha", "omega", "delta", "beta"} {
+		s.Insert(k)
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 20; i++ {
+		s.Insert(fmt.Sprintf("k%02d", i))
+	}
+	var got []string
+	s.Range("k05", "k10", func(k string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"k05", "k06", "k07", "k08", "k09"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range = %v", got)
+	}
+	// early stop
+	n := 0
+	s.Range("", "", func(string) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRangePrefix(t *testing.T) {
+	s := New(4)
+	for _, k := range []string{"a/1", "a/2", "ab", "b/1", "a", "a0"} {
+		s.Insert(k)
+	}
+	var got []string
+	s.RangePrefix("a/", func(k string) bool { got = append(got, k); return true })
+	if !reflect.DeepEqual(got, []string{"a/1", "a/2"}) {
+		t.Fatalf("prefix a/ = %v", got)
+	}
+	got = nil
+	s.RangePrefix("a", func(k string) bool { got = append(got, k); return true })
+	if !reflect.DeepEqual(got, []string{"a", "a/1", "a/2", "a0", "ab"}) {
+		t.Fatalf("prefix a = %v", got)
+	}
+	got = nil
+	s.RangePrefix("", func(k string) bool { got = append(got, k); return true })
+	if len(got) != 6 {
+		t.Fatalf("empty prefix visited %d", len(got))
+	}
+}
+
+func TestPrefixUpperBound(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"a", "b"},
+		{"az", "a{"},
+		{"a\xff", "b"},
+		{"\xff\xff", ""},
+		{"k0", "k1"},
+	}
+	for _, tc := range tests {
+		if got := prefixUpperBound(tc.in); got != tc.want {
+			t.Errorf("prefixUpperBound(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Property: the skip list agrees with a sorted, deduplicated slice.
+func TestPropertyMatchesSortedSet(t *testing.T) {
+	f := func(raw []string) bool {
+		s := New(99)
+		set := map[string]bool{}
+		for _, k := range raw {
+			if len(k) > 12 {
+				k = k[:12]
+			}
+			s.Insert(k)
+			set[k] = true
+		}
+		var want []string
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		got := s.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertAndScan(t *testing.T) {
+	s := New(5)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scanners verify order continuously.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := ""
+				first := true
+				s.Range("", "", func(k string) bool {
+					if !first && k <= prev {
+						panic("out of order iteration")
+					}
+					prev, first = k, false
+					return true
+				})
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				s.Insert(fmt.Sprintf("key%06d", rng.Intn(5000)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		// wait for inserters only (indexes 2..5 of the waitgroup) — just
+		// give them time, then stop scanners.
+		for s.Len() < 100 {
+		}
+		close(done)
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(fmt.Sprintf("key%09d", i*2654435761%1000000007))
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 100_000; i++ {
+		s.Insert(fmt.Sprintf("key%06d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.RangePrefix("key0012", func(string) bool { n++; return true })
+		if n != 100 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}

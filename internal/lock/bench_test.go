@@ -1,0 +1,66 @@
+package lock
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager(Detect, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		m.Begin(id, id)
+		if err := m.Acquire(id, "k", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(id)
+	}
+}
+
+func BenchmarkAcquireSharedParallel(b *testing.B) {
+	m := NewManager(Detect, 0)
+	var ctr uint64
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	nextID := func() uint64 {
+		<-mu
+		ctr++
+		v := ctr
+		mu <- struct{}{}
+		return v
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID()
+			m.Begin(id, id)
+			if err := m.Acquire(id, "shared-key", Shared); err != nil {
+				b.Fatal(err)
+			}
+			m.ReleaseAll(id)
+		}
+	})
+}
+
+func BenchmarkAcquireManyKeys(b *testing.B) {
+	for _, nKeys := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("keys=%d", nKeys), func(b *testing.B) {
+			m := NewManager(Detect, 0)
+			keys := make([]string, nKeys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", i)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id := uint64(i + 1)
+				m.Begin(id, id)
+				for _, k := range keys {
+					if err := m.Acquire(id, k, Exclusive); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m.ReleaseAll(id)
+			}
+		})
+	}
+}

@@ -1,0 +1,435 @@
+// Package lock implements the two-phase-locking substrate used by the
+// VC+2PL engine (paper Figure 4) and the single-version and CTL-based
+// baselines.
+//
+// The manager provides shared/exclusive locks with FIFO queues and lock
+// upgrade, plus three deadlock-handling policies:
+//
+//   - Detect: build the waits-for relation lazily and run a cycle check
+//     whenever a request blocks; the requester that would close a cycle
+//     is the victim (ErrDeadlock).
+//   - WoundWait: an older requester wounds conflicting younger holders
+//     and waiters; a younger requester waits. Wait edges then always point
+//     from younger to older, so no cycle can form.
+//   - Timeout: a blocked request fails with ErrTimeout after a bound.
+//
+// Victims must abort and call ReleaseAll; the engines above retry them.
+// Note the paper's observation (Section 4.4): deadlocks are entirely a
+// concurrency-control phenomenon. Transactions interact with the version
+// control module only after their lock-point, so the VC module can never
+// participate in a deadlock — this package is the only place blocking
+// cycles can arise in the VC+2PL engine.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared is a read lock; compatible with other Shared locks.
+	Shared Mode = iota
+	// Exclusive is a write lock; compatible with nothing.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Policy selects the deadlock-handling strategy.
+type Policy int
+
+const (
+	// Detect runs cycle detection on block and aborts the requester
+	// closing a cycle.
+	Detect Policy = iota
+	// WoundWait wounds younger conflicting transactions.
+	WoundWait
+	// TimeoutPolicy aborts a request that waits longer than the
+	// manager's timeout.
+	TimeoutPolicy
+)
+
+// Errors returned by Acquire. All of them mean the transaction must abort
+// (release its locks) and may be retried by the caller.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
+	ErrWounded  = errors.New("lock: wounded by an older transaction")
+	ErrTimeout  = errors.New("lock: wait timed out")
+	ErrUnknown  = errors.New("lock: unknown transaction")
+)
+
+type request struct {
+	tx      *txState
+	key     string
+	mode    Mode
+	upgrade bool
+	ready   chan error
+}
+
+type txState struct {
+	id      uint64
+	age     uint64 // smaller = older; used by WoundWait
+	held    map[string]Mode
+	waiting *request
+	wounded bool
+}
+
+type lockState struct {
+	holders map[*txState]Mode
+	queue   []*request
+}
+
+// Manager is a lock manager. It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	policy  Policy
+	timeout time.Duration
+	locks   map[string]*lockState
+	txs     map[uint64]*txState
+
+	waits     atomic.Uint64
+	deadlocks atomic.Uint64
+	wounds    atomic.Uint64
+	timeouts  atomic.Uint64
+}
+
+// NewManager creates a manager with the given policy. timeout applies only
+// to TimeoutPolicy (zero selects 50ms).
+func NewManager(policy Policy, timeout time.Duration) *Manager {
+	if timeout <= 0 {
+		timeout = 50 * time.Millisecond
+	}
+	return &Manager{
+		policy:  policy,
+		timeout: timeout,
+		locks:   make(map[string]*lockState),
+		txs:     make(map[uint64]*txState),
+	}
+}
+
+// Begin registers a transaction. age must be unique and monotonically
+// increasing across Begin calls (the engine uses its begin sequence);
+// WoundWait uses it as the seniority order.
+func (m *Manager) Begin(txID, age uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.txs[txID]; ok {
+		panic(fmt.Sprintf("lock: duplicate Begin(%d)", txID))
+	}
+	m.txs[txID] = &txState{id: txID, age: age, held: make(map[string]Mode)}
+}
+
+// Acquire blocks until the lock is granted or the transaction becomes a
+// deadlock/wound/timeout victim. Re-acquiring a held lock (same or weaker
+// mode) is a no-op; Shared→Exclusive upgrades are supported and take
+// priority over queued requests.
+func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
+	m.mu.Lock()
+	tx, ok := m.txs[txID]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknown
+	}
+	if tx.wounded {
+		m.mu.Unlock()
+		return ErrWounded
+	}
+
+	held, hasHeld := tx.held[key]
+	if hasHeld && (held == Exclusive || mode == Shared) {
+		m.mu.Unlock()
+		return nil
+	}
+	upgrade := hasHeld // held Shared, want Exclusive
+
+	ls := m.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[*txState]Mode)}
+		m.locks[key] = ls
+	}
+
+	if m.grantableLocked(ls, tx, mode, upgrade) {
+		ls.holders[tx] = mode
+		tx.held[key] = mode
+		m.mu.Unlock()
+		return nil
+	}
+
+	req := &request{tx: tx, key: key, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	if upgrade {
+		ls.queue = append([]*request{req}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	tx.waiting = req
+	m.waits.Add(1)
+
+	switch m.policy {
+	case Detect:
+		if m.cycleFromLocked(tx) {
+			m.removeRequestLocked(ls, req)
+			tx.waiting = nil
+			m.deadlocks.Add(1)
+			m.mu.Unlock()
+			return ErrDeadlock
+		}
+	case WoundWait:
+		m.woundYoungerLocked(ls, req)
+	}
+	m.mu.Unlock()
+
+	if m.policy == TimeoutPolicy {
+		timer := time.NewTimer(m.timeout)
+		defer timer.Stop()
+		select {
+		case err := <-req.ready:
+			return err
+		case <-timer.C:
+			m.mu.Lock()
+			// A grant may have raced the timer.
+			select {
+			case err := <-req.ready:
+				m.mu.Unlock()
+				return err
+			default:
+			}
+			m.removeRequestLocked(ls, req)
+			tx.waiting = nil
+			m.timeouts.Add(1)
+			m.mu.Unlock()
+			return ErrTimeout
+		}
+	}
+	return <-req.ready
+}
+
+// ReleaseAll releases every lock held by txID, grants any now-compatible
+// waiters, and forgets the transaction. It is the 2PL "shrinking phase"
+// done all at once (strict 2PL), and also the abort path for victims.
+func (m *Manager) ReleaseAll(txID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx, ok := m.txs[txID]
+	if !ok {
+		return
+	}
+	if tx.waiting != nil {
+		// Defensive: a transaction should never release while blocked,
+		// but if the engine aborts it from another goroutine, clean up.
+		if ls := m.locks[tx.waiting.key]; ls != nil {
+			m.removeRequestLocked(ls, tx.waiting)
+		}
+		tx.waiting.ready <- ErrWounded
+		tx.waiting = nil
+	}
+	for key := range tx.held {
+		ls := m.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, tx)
+		m.grantWaitersLocked(key, ls)
+	}
+	delete(m.txs, txID)
+}
+
+// HeldCount returns how many locks txID currently holds.
+func (m *Manager) HeldCount(txID uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tx, ok := m.txs[txID]; ok {
+		return len(tx.held)
+	}
+	return 0
+}
+
+// Wounded reports whether txID has been wounded and must abort.
+func (m *Manager) Wounded(txID uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx, ok := m.txs[txID]
+	return ok && tx.wounded
+}
+
+// Waits returns the number of requests that ever blocked.
+func (m *Manager) Waits() uint64 { return m.waits.Load() }
+
+// Deadlocks returns the number of deadlock victims.
+func (m *Manager) Deadlocks() uint64 { return m.deadlocks.Load() }
+
+// Wounds returns the number of wounded transactions.
+func (m *Manager) Wounds() uint64 { return m.wounds.Load() }
+
+// Timeouts returns the number of timed-out requests.
+func (m *Manager) Timeouts() uint64 { return m.timeouts.Load() }
+
+// grantableLocked reports whether tx may be granted mode on ls right now.
+func (m *Manager) grantableLocked(ls *lockState, tx *txState, mode Mode, upgrade bool) bool {
+	if upgrade {
+		// Upgrade is granted when tx is the sole holder.
+		if len(ls.holders) != 1 {
+			return false
+		}
+		_, sole := ls.holders[tx]
+		return sole
+	}
+	// FIFO fairness: a fresh request must queue behind existing waiters.
+	if len(ls.queue) > 0 {
+		return false
+	}
+	for h, hm := range ls.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// grantWaitersLocked grants queued requests from the front while possible.
+func (m *Manager) grantWaitersLocked(key string, ls *lockState) {
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		if req.upgrade {
+			if len(ls.holders) != 1 {
+				break
+			}
+			if _, sole := ls.holders[req.tx]; !sole {
+				break
+			}
+		} else {
+			compatible := true
+			for h, hm := range ls.holders {
+				if h == req.tx {
+					continue
+				}
+				if req.mode == Exclusive || hm == Exclusive {
+					compatible = false
+					break
+				}
+			}
+			if !compatible {
+				break
+			}
+		}
+		ls.queue = ls.queue[1:]
+		ls.holders[req.tx] = req.mode
+		req.tx.held[key] = req.mode
+		req.tx.waiting = nil
+		req.ready <- nil
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+func (m *Manager) removeRequestLocked(ls *lockState, req *request) {
+	for i, r := range ls.queue {
+		if r == req {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, req.key)
+	} else {
+		m.grantWaitersLocked(req.key, ls)
+	}
+}
+
+// blockersLocked returns the transactions req waits for: conflicting
+// holders plus conflicting requests queued ahead of it.
+func (m *Manager) blockersLocked(req *request) []*txState {
+	ls := m.locks[req.key]
+	if ls == nil {
+		return nil
+	}
+	var out []*txState
+	for h, hm := range ls.holders {
+		if h == req.tx {
+			continue
+		}
+		if req.mode == Exclusive || hm == Exclusive {
+			out = append(out, h)
+		}
+	}
+	for _, r := range ls.queue {
+		if r == req {
+			break
+		}
+		if r.tx == req.tx {
+			continue
+		}
+		if req.mode == Exclusive || r.mode == Exclusive {
+			out = append(out, r.tx)
+		}
+	}
+	return out
+}
+
+// cycleFromLocked runs a DFS over the waits-for relation starting at
+// start, returning true if start is reachable from itself.
+func (m *Manager) cycleFromLocked(start *txState) bool {
+	visited := map[*txState]bool{}
+	var stack []*txState
+	push := func(t *txState) {
+		if !visited[t] {
+			visited[t] = true
+			stack = append(stack, t)
+		}
+	}
+	if start.waiting == nil {
+		return false
+	}
+	for _, b := range m.blockersLocked(start.waiting) {
+		push(b)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t == start {
+			return true
+		}
+		if t.waiting == nil {
+			continue
+		}
+		for _, b := range m.blockersLocked(t.waiting) {
+			push(b)
+		}
+	}
+	return false
+}
+
+// woundYoungerLocked wounds every conflicting transaction younger than the
+// requester: holders keep running until they notice (next Acquire or an
+// explicit Wounded check); blocked waiters are failed immediately.
+func (m *Manager) woundYoungerLocked(ls *lockState, req *request) {
+	for _, b := range m.blockersLocked(req) {
+		if b.age <= req.tx.age || b.wounded {
+			continue
+		}
+		b.wounded = true
+		m.wounds.Add(1)
+		if b.waiting != nil {
+			w := b.waiting
+			if wls := m.locks[w.key]; wls != nil {
+				m.removeRequestLocked(wls, w)
+			}
+			b.waiting = nil
+			w.ready <- ErrWounded
+		}
+	}
+}

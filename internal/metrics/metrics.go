@@ -1,0 +1,206 @@
+// Package metrics provides the measurement substrate for the experiment
+// harness: lock-free log-bucketed latency histograms, summaries with
+// percentiles, and plain-text table rendering for the report tables in
+// EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// subBuckets is the per-octave resolution: each power-of-two range is
+// split into this many linear sub-buckets, bounding the relative error of
+// a recorded value by 1/subBuckets (~6%).
+const subBuckets = 16
+
+// maxOctaves covers values up to ~2^47 ns (~1.6 days) — far beyond any
+// latency this harness records.
+const maxOctaves = 48
+
+// Histogram records int64 samples (by convention: nanoseconds). All
+// methods are safe for concurrent use and Record is a single atomic add.
+type Histogram struct {
+	counts [maxOctaves * subBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	oct := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= 4 here
+	shift := oct - 4                 // map the octave onto 16 sub-buckets
+	idx := (oct-3)*subBuckets + int((uint64(v)>>shift)&(subBuckets-1))
+	if idx >= maxOctaves*subBuckets {
+		idx = maxOctaves*subBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns a representative (upper-bound) value for bucket i —
+// the inverse of bucketOf up to quantization.
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	oct := i/subBuckets + 3
+	sub := i % subBuckets
+	shift := oct - 4
+	return (1 << oct) + int64(sub+1)<<shift - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the mean sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Summary is an immutable snapshot of a histogram.
+type Summary struct {
+	Count            uint64
+	Mean             float64
+	P50, P90, P99    int64
+	Max              int64
+	TotalNanoseconds int64
+}
+
+// Summarize snapshots the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:            h.Count(),
+		Mean:             h.Mean(),
+		P50:              h.Percentile(50),
+		P90:              h.Percentile(90),
+		P99:              h.Percentile(99),
+		Max:              h.Max(),
+		TotalNanoseconds: h.sum.Load(),
+	}
+}
+
+// String formats the summary with duration units.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		s.Count, Dur(int64(s.Mean)), Dur(s.P50), Dur(s.P90), Dur(s.P99), Dur(s.Max))
+}
+
+// Dur renders nanoseconds compactly.
+func Dur(ns int64) string {
+	switch {
+	case ns >= int64(time.Second):
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= int64(time.Millisecond):
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= int64(time.Microsecond):
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Table renders rows as an aligned plain-text table (the output format of
+// cmd/mvbench, mirrored into EXPERIMENTS.md).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	sep := make([]string, len(t.Headers))
+	for i, hdr := range t.Headers {
+		sep[i] = strings.Repeat("-", len(hdr))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// F formats a float with sensible precision for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

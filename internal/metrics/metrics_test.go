@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestBucketRoundTripMonotone(t *testing.T) {
+	last := -1
+	for v := int64(0); v < 1<<20; v = v*2 + 1 {
+		b := bucketOf(v)
+		if b < last {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		last = b
+		if up := bucketUpper(b); up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", b, up, v)
+		}
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var vals []int64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Intn(1_000_000))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99} {
+		exact := vals[int(p/100*float64(len(vals)))-1]
+		got := h.Percentile(p)
+		// log-bucketed: within ~12.5% above the exact value
+		if got < exact || float64(got) > float64(exact)*1.15+16 {
+			t.Fatalf("p%v = %d, exact %d", p, got, exact)
+		}
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Fatalf("max = %d, want %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+func TestMeanAndCount(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	s := h.Summarize()
+	if s.Count != 3 || s.TotalNanoseconds != 60 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("summary string: %q", s.String())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestPropertyPercentileNeverBelowMedianSample(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var vals []int64
+		for _, r := range raw {
+			v := int64(r % 1_000_000)
+			vals = append(vals, v)
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		med := vals[(len(vals)-1)/2]
+		return h.Percentile(50) >= med || med == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDur(t *testing.T) {
+	tests := []struct {
+		ns   int64
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.50µs"},
+		{2_500_000, "2.50ms"},
+		{3_000_000_000, "3.00s"},
+	}
+	for _, tc := range tests {
+		if got := Dur(tc.ns); got != tc.want {
+			t.Errorf("Dur(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"engine", "tps"}}
+	tb.AddRow("vc+2pl", "123")
+	tb.AddRow("sv2pl", "45")
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "engine", "vc+2pl", "45"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(0) != "0" {
+		t.Fatal(F(0))
+	}
+	if F(12345.6) != "12346" {
+		t.Fatal(F(12345.6))
+	}
+	if F(12.34) != "12.3" {
+		t.Fatal(F(12.34))
+	}
+	if F(1.2345) != "1.234" && F(1.2345) != "1.235" {
+		t.Fatal(F(1.2345))
+	}
+}
+
+func TestBucketClampAtMaxOctave(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1 << 62) // far beyond the covered range: must clamp, not panic
+	if h.Count() != 1 {
+		t.Fatal("sample lost")
+	}
+	if h.Percentile(100) <= 0 {
+		t.Fatal("clamped percentile broken")
+	}
+}
+
+func TestRecordNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if got := h.Percentile(100); got != 0 {
+		t.Fatalf("p100 = %d, want 0", got)
+	}
+}

@@ -1,0 +1,533 @@
+// Package storage implements the multiversion object store substrate that
+// every engine in this repository is built on.
+//
+// Each object (key) carries a chain of committed versions ordered by the
+// transaction number of their creator, plus a set of pending (uncommitted)
+// versions, plus the read/write timestamps used by timestamp-ordering
+// protocols. The paper's read rule — "return x_j with the largest version
+// <= sn(T)" (Figure 2) — is ReadVisible; the timestamp-ordering rules of
+// Figure 3 are TORead/TOWrite.
+//
+// The store is sharded by key hash so that unrelated objects do not
+// contend; each object has its own mutex and condition variable (used for
+// the pending-write blocking that Figure 3 prescribes).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+
+	"mvdb/internal/index"
+)
+
+// ErrConflict is returned by TOWrite when the timestamp-ordering rule
+// rejects a write (r-ts or w-ts of the object exceeds the writer's tn).
+// The transaction must abort; the paper's protocols restart it with a new
+// transaction number.
+var ErrConflict = errors.New("storage: timestamp-ordering conflict")
+
+// ErrConflictRO is a variant of ErrConflict reporting that the offending
+// r-ts was last raised by a read-only transaction. It only arises in the
+// Reed-style MVTO baseline, where read-only transactions update r-ts; the
+// paper's version-control engines structurally never produce it
+// (experiment E2). It unwraps to ErrConflict.
+var ErrConflictRO = fmt.Errorf("%w (r-ts raised by a read-only transaction)", ErrConflict)
+
+// Version is one committed version of an object.
+type Version struct {
+	// TN is the transaction number of the creator; it doubles as the
+	// version number (paper Section 3.2: "the version number most often
+	// corresponds to ... the transaction number of the transaction that
+	// wrote that version").
+	TN uint64
+	// Data is the version's value. It must not be mutated after install.
+	Data []byte
+	// Tombstone marks a deletion: the object logically does not exist at
+	// snapshots that resolve to this version.
+	Tombstone bool
+}
+
+// Pending is an uncommitted version installed by a granted-but-uncommitted
+// write (timestamp ordering calls these "pending writes").
+type Pending struct {
+	TN        uint64
+	Data      []byte
+	Tombstone bool
+}
+
+// Object is one key's synchronization and version state.
+type Object struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	versions []Version // ascending TN
+	pending  []Pending // ascending TN
+	rts      uint64    // largest tn that read the most recent version
+	rtsRO    bool      // r-ts was last raised by a read-only transaction
+	wts      uint64    // largest tn that wrote (including pending)
+
+	waits uint64 // number of times a request blocked on a pending write
+}
+
+func newObject() *Object {
+	o := &Object{}
+	o.cond.L = &o.mu
+	return o
+}
+
+// ReadVisible returns the committed version with the largest TN <= sn,
+// implementing the read rule of paper Figure 2. ok is false when no such
+// version exists (the object was created after the snapshot). A returned
+// tombstone means the object was deleted as of sn; callers translate that
+// to "not found" while still learning the version identity for history
+// checking.
+func (o *Object) ReadVisible(sn uint64) (v Version, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.readVisibleLocked(sn)
+}
+
+func (o *Object) readVisibleLocked(sn uint64) (Version, bool) {
+	i := sort.Search(len(o.versions), func(i int) bool { return o.versions[i].TN > sn })
+	if i == 0 {
+		return Version{}, false
+	}
+	return o.versions[i-1], true
+}
+
+// LatestCommitted returns the newest committed version. Two-phase-locking
+// read-write transactions use it: under a read lock the latest committed
+// version is guaranteed current (paper Section 4.4, sn(T) = infinity).
+func (o *Object) LatestCommitted() (Version, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.versions) == 0 {
+		return Version{}, false
+	}
+	return o.versions[len(o.versions)-1], true
+}
+
+// LatestTN returns the TN of the newest committed version, or 0 if none.
+// Optimistic validation compares it against the TN observed at read time.
+func (o *Object) LatestTN() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.versions) == 0 {
+		return 0
+	}
+	return o.versions[len(o.versions)-1].TN
+}
+
+// InstallCommitted inserts a committed version. Versions may be installed
+// out of TN order across objects, but for a single object callers must
+// never install a version older than one some snapshot could already have
+// read past; the engines guarantee this by construction. The chain is kept
+// sorted.
+func (o *Object) InstallCommitted(v Version) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.installCommittedLocked(v)
+}
+
+func (o *Object) installCommittedLocked(v Version) {
+	n := len(o.versions)
+	if n == 0 || o.versions[n-1].TN < v.TN {
+		o.versions = append(o.versions, v)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return o.versions[i].TN >= v.TN })
+	if i < n && o.versions[i].TN == v.TN {
+		panic(fmt.Sprintf("storage: duplicate version tn=%d", v.TN))
+	}
+	o.versions = append(o.versions, Version{})
+	copy(o.versions[i+1:], o.versions[i:])
+	o.versions[i] = v
+}
+
+// --- Timestamp-ordering operations (paper Figure 3) ---
+
+// TORead performs a timestamp-ordering read for a read-write transaction
+// with transaction number tn:
+//
+//	r-ts(x) <- MAX(r-ts(x), tn)
+//	return the version with the largest number <= tn,
+//	waiting while an older transaction's write is pending.
+//
+// If the transaction itself has a pending write on the object, that write
+// is returned (read-own-write; the paper's model forbids r after w but the
+// library supports it).
+func (o *Object) TORead(tn uint64) (Version, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.rts < tn {
+		o.rts = tn
+		o.rtsRO = false
+	}
+	for {
+		if p, ok := o.ownPendingLocked(tn); ok {
+			return Version{TN: p.TN, Data: p.Data, Tombstone: p.Tombstone}, true
+		}
+		if !o.hasPendingAtMostLocked(tn) {
+			return o.readVisibleLocked(tn)
+		}
+		o.waits++
+		o.cond.Wait()
+	}
+}
+
+// SnapshotReadWait performs a read at snapshot sn that waits for pending
+// writes with TN <= sn to resolve. Reed-style multiversion timestamp
+// ordering uses this for its (synchronized) read-only transactions; the
+// paper's own read-only transactions never need it because sn <= vtnc
+// implies every version <= sn is already committed. waited reports
+// whether the read blocked (experiment E3 instrumentation).
+func (o *Object) SnapshotReadWait(sn uint64) (v Version, ok, waited bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for o.hasPendingAtMostLocked(sn) {
+		o.waits++
+		waited = true
+		o.cond.Wait()
+	}
+	v, ok = o.readVisibleLocked(sn)
+	return v, ok, waited
+}
+
+// ReadVisibleWhere returns the version with the largest TN <= sn whose
+// creator satisfies the admit predicate. It implements the read rule of
+// the Chan et al. MV2PL baseline (paper Section 2): "finding a largest
+// version of an object smaller than the start timestamp of the
+// transaction, and ensuring that the creator of this version appears in
+// the copy of the completed transaction list". The per-read predicate
+// scan is part of the overhead the paper's version control eliminates.
+func (o *Object) ReadVisibleWhere(sn uint64, admit func(tn uint64) bool) (Version, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i := sort.Search(len(o.versions), func(i int) bool { return o.versions[i].TN > sn })
+	for i--; i >= 0; i-- {
+		if admit(o.versions[i].TN) {
+			return o.versions[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// SetRTS raises r-ts(x) to at least tn. Reed-style MVTO applies it for
+// read-only transactions too — the overhead the paper eliminates. ro
+// marks whether the reader is a read-only transaction; the flag feeds the
+// abort-attribution statistics of experiment E2.
+func (o *Object) SetRTS(tn uint64, ro bool) {
+	o.mu.Lock()
+	if o.rts < tn {
+		o.rts = tn
+		o.rtsRO = ro
+	}
+	o.mu.Unlock()
+}
+
+// TOWrite performs a timestamp-ordering write: reject if a younger
+// transaction already read or wrote the object; otherwise wait for older
+// pending writes and install a pending version. A second write by the
+// same transaction overwrites its pending version in place.
+func (o *Object) TOWrite(tn uint64, data []byte, tombstone bool) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		if o.rts > tn && o.rtsRO {
+			return ErrConflictRO
+		}
+		if o.rts > tn || o.wts > tn {
+			return ErrConflict
+		}
+		if i, ok := o.pendingIndexLocked(tn); ok {
+			o.pending[i].Data = data
+			o.pending[i].Tombstone = tombstone
+			return nil
+		}
+		if !o.hasPendingBelowLocked(tn) {
+			break
+		}
+		o.waits++
+		o.cond.Wait()
+	}
+	o.insertPendingLocked(Pending{TN: tn, Data: data, Tombstone: tombstone})
+	if o.wts < tn {
+		o.wts = tn
+	}
+	return nil
+}
+
+// ResolvePending commits (install) or aborts (drop) the pending version
+// created by transaction tn, waking all waiters. It is a no-op if the
+// transaction has no pending version here.
+func (o *Object) ResolvePending(tn uint64, commit bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i, ok := o.pendingIndexLocked(tn)
+	if !ok {
+		return
+	}
+	p := o.pending[i]
+	o.pending = append(o.pending[:i], o.pending[i+1:]...)
+	if commit {
+		o.installCommittedLocked(Version{TN: p.TN, Data: p.Data, Tombstone: p.Tombstone})
+	}
+	o.cond.Broadcast()
+}
+
+// RTS returns the object's read timestamp.
+func (o *Object) RTS() uint64 { o.mu.Lock(); defer o.mu.Unlock(); return o.rts }
+
+// WTS returns the object's write timestamp (including pending writes).
+func (o *Object) WTS() uint64 { o.mu.Lock(); defer o.mu.Unlock(); return o.wts }
+
+// Waits reports how many times a request blocked on this object's pending
+// writes (experiment E3 instrumentation).
+func (o *Object) Waits() uint64 { o.mu.Lock(); defer o.mu.Unlock(); return o.waits }
+
+// VersionCount returns the number of committed versions (GC metrics).
+func (o *Object) VersionCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.versions)
+}
+
+// PendingCount returns the number of pending versions.
+func (o *Object) PendingCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// Versions returns a copy of the committed chain (tests and tools).
+func (o *Object) Versions() []Version {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Version, len(o.versions))
+	copy(out, o.versions)
+	return out
+}
+
+// Prune discards committed versions that are invisible to every snapshot
+// >= watermark: all versions strictly older than the newest version whose
+// TN <= watermark. It returns the number of versions discarded. This is
+// the garbage-collection rule of paper Section 6: never discard a version
+// "as young as or younger than vtnc" (our watermark additionally accounts
+// for older active read-only transactions).
+func (o *Object) Prune(watermark uint64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i := sort.Search(len(o.versions), func(i int) bool { return o.versions[i].TN > watermark })
+	// versions[i-1] is the newest version <= watermark; it must survive,
+	// everything before it is unreachable.
+	if i <= 1 {
+		return 0
+	}
+	drop := i - 1
+	o.versions = append(o.versions[:0], o.versions[drop:]...)
+	return drop
+}
+
+// CheckInvariants validates chain ordering; for tests.
+func (o *Object) CheckInvariants() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := 1; i < len(o.versions); i++ {
+		if o.versions[i-1].TN >= o.versions[i].TN {
+			return fmt.Errorf("storage: version chain out of order at %d", i)
+		}
+	}
+	for i := 1; i < len(o.pending); i++ {
+		if o.pending[i-1].TN >= o.pending[i].TN {
+			return fmt.Errorf("storage: pending list out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+func (o *Object) ownPendingLocked(tn uint64) (Pending, bool) {
+	if i, ok := o.pendingIndexLocked(tn); ok {
+		return o.pending[i], true
+	}
+	return Pending{}, false
+}
+
+func (o *Object) pendingIndexLocked(tn uint64) (int, bool) {
+	for i := range o.pending {
+		if o.pending[i].TN == tn {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// hasPendingAtMostLocked reports whether a pending write by another
+// transaction with TN <= tn exists (the Figure 3 read-blocking condition).
+func (o *Object) hasPendingAtMostLocked(tn uint64) bool {
+	return len(o.pending) > 0 && o.pending[0].TN <= tn
+}
+
+// hasPendingBelowLocked reports whether a pending write with TN < tn
+// exists (the Figure 3 write-blocking condition).
+func (o *Object) hasPendingBelowLocked(tn uint64) bool {
+	return len(o.pending) > 0 && o.pending[0].TN < tn
+}
+
+func (o *Object) insertPendingLocked(p Pending) {
+	n := len(o.pending)
+	i := sort.Search(n, func(i int) bool { return o.pending[i].TN >= p.TN })
+	o.pending = append(o.pending, Pending{})
+	copy(o.pending[i+1:], o.pending[i:])
+	o.pending[i] = p
+}
+
+// --- Store ---
+
+const defaultShards = 64
+
+// Store is a sharded map from key to Object, plus an ordered key index
+// for prefix scans.
+type Store struct {
+	seed   maphash.Seed
+	shards []shard
+	mask   uint64
+	idx    *index.SkipList
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Object
+}
+
+// NewStore creates a store with the given shard count (rounded up to a
+// power of two; 0 selects the default).
+func NewStore(shards int) *Store {
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Store{seed: maphash.MakeSeed(), shards: make([]shard, n), mask: uint64(n - 1), idx: index.New(1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Object)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := maphash.String(s.seed, key)
+	return &s.shards[h&s.mask]
+}
+
+// Get returns the object for key, or nil if the key has never been
+// written.
+func (s *Store) Get(key string) *Object {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	o := sh.m[key]
+	sh.mu.RUnlock()
+	return o
+}
+
+// GetOrCreate returns the object for key, creating an empty one if
+// needed.
+func (s *Store) GetOrCreate(key string) *Object {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	o := sh.m[key]
+	sh.mu.RUnlock()
+	if o != nil {
+		return o
+	}
+	sh.mu.Lock()
+	if o = sh.m[key]; o == nil {
+		o = newObject()
+		sh.m[key] = o
+	}
+	sh.mu.Unlock()
+	s.idx.Insert(key)
+	return o
+}
+
+// Range calls fn for every key until fn returns false. The iteration
+// order is unspecified and the snapshot is loose (keys created during
+// iteration may or may not appear).
+func (s *Store) Range(fn func(key string, o *Object) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		keys := make([]string, 0, len(sh.m))
+		for k := range sh.m {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			sh.mu.RLock()
+			o := sh.m[k]
+			sh.mu.RUnlock()
+			if o == nil {
+				continue
+			}
+			if !fn(k, o) {
+				return
+			}
+		}
+	}
+}
+
+// RangeOrdered calls fn for every key with the given prefix in ascending
+// key order, until fn returns false. Unlike Range, iteration order is
+// guaranteed; snapshot scans are built on it.
+func (s *Store) RangeOrdered(prefix string, fn func(key string, o *Object) bool) {
+	s.idx.RangePrefix(prefix, func(key string) bool {
+		o := s.Get(key)
+		if o == nil {
+			return true // index insert raced ahead of the map insert
+		}
+		return fn(key, o)
+	})
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// TotalVersions returns the number of committed versions across all
+// objects (GC experiment instrumentation).
+func (s *Store) TotalVersions() int {
+	n := 0
+	s.Range(func(_ string, o *Object) bool {
+		n += o.VersionCount()
+		return true
+	})
+	return n
+}
+
+// TotalWaits sums Object.Waits across the store.
+func (s *Store) TotalWaits() uint64 {
+	var n uint64
+	s.Range(func(_ string, o *Object) bool {
+		n += o.Waits()
+		return true
+	})
+	return n
+}
+
+// Bootstrap installs an initial committed version (TN 0 by convention)
+// for key. It is used to load data before transaction processing starts.
+func (s *Store) Bootstrap(key string, data []byte) {
+	s.GetOrCreate(key).InstallCommitted(Version{TN: 0, Data: data})
+}

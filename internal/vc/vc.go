@@ -1,0 +1,390 @@
+// Package vc implements the Version Control module of Sengupta & Agrawal
+// (CUCS-426-89, Figure 1): the component that decouples version visibility
+// from concurrency control in a multiversion database.
+//
+// The module owns exactly three pieces of state:
+//
+//   - tnc, the transaction number counter: the next serialization number
+//     that will be handed to a read-write transaction.
+//   - vtnc, the visible transaction number counter: the largest number n
+//     such that every read-write transaction with tn <= n has completed.
+//   - VCQueue, the ordered list of transactions that have been assigned a
+//     transaction number (their serial position is fixed) but whose updates
+//     are not yet visible, either because they are still active or because
+//     an older transaction is.
+//
+// Two invariants are maintained at all times (paper, Section 4.1):
+//
+//   - Transaction Ordering Property: every transaction that is active and
+//     unassigned, or that arrives later, receives tn >= tnc.
+//   - Transaction Visibility Property: vtnc is the largest number such
+//     that all transactions T with tn(T) <= vtnc have completed.
+//
+// Together with vtnc < tnc, these guarantee that a read-only transaction
+// that snapshots vtnc at start observes a committed prefix of the serial
+// order that can never be perturbed by active or future transactions.
+package vc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is a VCQueue node for one registered read-write transaction.
+// Entries are created by Register and must be resolved exactly once, by
+// either Complete (commit) or Discard (abort).
+type Entry struct {
+	tn       uint64
+	complete bool
+	resolved bool // fully removed from the queue (or discarded)
+	prev     *Entry
+	next     *Entry
+}
+
+// TN returns the transaction number assigned at registration time.
+func (e *Entry) TN() uint64 { return e.tn }
+
+// Controller is the Version Control module. The zero value is not usable;
+// call New.
+//
+// Controller is safe for concurrent use. Start is wait-free (a single
+// atomic load), matching the paper's claim that read-only transactions
+// have "almost negligible overhead": they interact with this module once,
+// and that interaction does not contend with read-write registration.
+type Controller struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// vtnc is stored atomically so Start never takes the mutex.
+	vtnc atomic.Uint64
+
+	tnc    uint64
+	step   uint64 // Register stride (1 = centralized; >1 = one residue class per site)
+	offset uint64 // residue of numbers this controller hands out locally
+	head   *Entry
+	tail   *Entry
+	size   int
+
+	// completions counts Complete calls; discards counts Discard calls.
+	completions atomic.Uint64
+	discards    atomic.Uint64
+}
+
+// New returns a Controller whose visible state is the bootstrap snapshot
+// `initial`. Data loaded before transaction processing begins should be
+// versioned with a number <= initial (conventionally 0). The first
+// registered read-write transaction receives tn = initial+1.
+func New(initial uint64) *Controller {
+	return NewStrided(initial, 0, 1)
+}
+
+// NewStrided returns a Controller whose locally assigned transaction
+// numbers all satisfy tn ≡ offset (mod step). The distributed extension
+// (Section 6; internal/dist) gives each site one residue class, making
+// locally assigned numbers globally unique without coordination; numbers
+// outside the class can still be adopted via RegisterExact when a
+// two-phase-commit vote forces one global number onto all participants.
+func NewStrided(initial, offset, step uint64) *Controller {
+	if step == 0 {
+		panic("vc: step must be >= 1")
+	}
+	if offset >= step {
+		panic("vc: offset must be < step")
+	}
+	c := &Controller{step: step, offset: offset}
+	c.tnc = nextAligned(initial, offset, step)
+	c.vtnc.Store(initial)
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// nextAligned returns the smallest value > after with ≡ offset (mod step).
+func nextAligned(after, offset, step uint64) uint64 {
+	n := after + 1
+	rem := n % step
+	if rem == offset {
+		return n
+	}
+	if rem < offset {
+		return n + (offset - rem)
+	}
+	return n + step - rem + offset
+}
+
+// Start implements VCstart() (paper Figure 1): it returns the start number
+// for a read-only transaction, i.e. the current value of vtnc. The caller
+// then serves every read from the largest version <= the returned number.
+func (c *Controller) Start() uint64 {
+	return c.vtnc.Load()
+}
+
+// Register implements VCregister(T, "active"): it assigns the next
+// transaction number and appends the transaction to VCQueue. It must be
+// called at the moment the transaction's serial order becomes fixed —
+// at begin for timestamp ordering, at the lock-point for two-phase
+// locking, during validation for optimistic schemes.
+func (c *Controller) Register() *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registerLocked()
+}
+
+func (c *Controller) registerLocked() *Entry {
+	e := &Entry{tn: c.tnc}
+	c.tnc += c.step
+	c.pushBack(e)
+	return e
+}
+
+// RegisterExact assigns exactly the transaction number tn, which must not
+// precede the next local assignment (otherwise ordering would be
+// violated); the error reports a stale coordinator decision. It is the
+// commit-side half of the distributed max-vote: every participant of a
+// distributed transaction adopts the same globally chosen number. Local
+// assignment resumes at the next stride point past tn.
+func (c *Controller) RegisterExact(tn uint64) (*Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tn < c.tnc {
+		return nil, fmt.Errorf("vc: RegisterExact(%d) behind tnc %d", tn, c.tnc)
+	}
+	e := &Entry{tn: tn}
+	c.tnc = nextAligned(tn, c.offset, c.step)
+	c.pushBack(e)
+	return e, nil
+}
+
+// RegisterAtLeast assigns a transaction number >= min, advancing tnc past
+// min if necessary. It is used by the distributed extension, where a
+// coordinator's max-vote may force a site to skip numbers so that one
+// global transaction carries the same number at every participant.
+// Skipped numbers never correspond to a transaction, so the Transaction
+// Visibility Property is unaffected.
+func (c *Controller) RegisterAtLeast(min uint64) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tn := c.tnc
+	if tn < min {
+		tn = min
+	}
+	e := &Entry{tn: tn}
+	c.tnc = nextAligned(tn, c.offset, c.step)
+	c.pushBack(e)
+	return e
+}
+
+// Reserve returns the transaction number the next Register call would
+// assign, without assigning it. It is the "proposal" half of the
+// distributed max-vote: the coordinator gathers Reserve values from all
+// participants and registers the maximum everywhere via RegisterAtLeast.
+func (c *Controller) Reserve() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tnc
+}
+
+// Discard implements VCdiscard(T): it removes an aborted transaction from
+// VCQueue. If the aborted transaction was the only obstacle holding vtnc
+// back, visibility advances over the completed transactions behind it.
+func (c *Controller) Discard(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.resolved {
+		panic("vc: Discard of resolved entry")
+	}
+	atHead := e == c.head
+	c.unlink(e)
+	e.resolved = true
+	c.discards.Add(1)
+	if atHead {
+		c.drainLocked()
+	}
+}
+
+// Complete implements VCcomplete(T): it marks the transaction complete
+// and, while the head of VCQueue is complete, removes the head and
+// advances vtnc to its transaction number. This is the only place vtnc
+// changes, which is exactly how the Transaction Visibility Property is
+// enforced: visibility follows serialization order, not completion order.
+func (c *Controller) Complete(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.resolved {
+		panic("vc: Complete of resolved entry")
+	}
+	e.complete = true
+	c.completions.Add(1)
+	c.drainLocked()
+}
+
+// UnsafeCompleteEager is ablation A2 (see DESIGN.md): it advances vtnc to
+// the completing transaction's number immediately, in completion order
+// rather than serialization order, deliberately violating the Transaction
+// Visibility Property. It exists only so tests can demonstrate that the
+// property is necessary — the history checker finds MVSG cycles when an
+// engine completes through this path. Never use it outside ablations.
+func (c *Controller) UnsafeCompleteEager(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.resolved {
+		panic("vc: Complete of resolved entry")
+	}
+	e.complete = true
+	c.completions.Add(1)
+	if c.vtnc.Load() < e.tn {
+		c.vtnc.Store(e.tn)
+		c.cond.Broadcast()
+	}
+	e.resolved = true
+	c.unlink(e)
+	// Entries stranded behind an eagerly-advanced vtnc are drained so the
+	// queue does not leak; correctness is already forfeited.
+	c.drainLocked()
+}
+
+// drainLocked pops completed entries from the head, advancing vtnc, and
+// then advances vtnc over the gap of unassigned numbers up to (but not
+// including) the next registered transaction — or up to tnc-1 if the
+// queue is empty. Unassigned numbers below tnc can never be assigned
+// later (tnc and RegisterExact only move forward), so "all transactions
+// with tn <= vtnc have completed" holds vacuously across the gap. Figure 1
+// stops at the last completed entry's number; this refinement is what
+// keeps per-site visibility from stranding below a remote snapshot in the
+// distributed extension, where the stride and max-vote rules leave gaps.
+func (c *Controller) drainLocked() {
+	advanced := false
+	for c.head != nil && c.head.complete {
+		h := c.head
+		if h.tn > c.vtnc.Load() { // the guard only matters after UnsafeCompleteEager
+			c.vtnc.Store(h.tn)
+		}
+		h.resolved = true
+		c.unlink(h)
+		advanced = true
+	}
+	target := c.tnc - 1
+	if c.head != nil {
+		target = c.head.tn - 1
+	}
+	if target > c.vtnc.Load() {
+		c.vtnc.Store(target)
+		advanced = true
+	}
+	if advanced {
+		c.cond.Broadcast()
+	}
+}
+
+// WaitVisible blocks until vtnc >= n. It implements the Section 6
+// rectification of delayed visibility: a read-only transaction that must
+// observe a particular read-write transaction T waits until tn(T) is
+// visible before taking its start number.
+func (c *Controller) WaitVisible(n uint64) {
+	if c.vtnc.Load() >= n {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.vtnc.Load() < n {
+		c.cond.Wait()
+	}
+}
+
+// TNC returns the current transaction number counter (the next number to
+// be assigned).
+func (c *Controller) TNC() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tnc
+}
+
+// VTNC returns the current visible transaction number counter.
+func (c *Controller) VTNC() uint64 { return c.vtnc.Load() }
+
+// Lag returns tnc-1-vtnc: how many assigned serialization positions are
+// not yet visible. Under the paper's delayed-visibility discussion this
+// is the staleness bound observed by read-only transactions.
+func (c *Controller) Lag() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tnc - 1 - c.vtnc.Load()
+}
+
+// QueueLen returns the number of unresolved entries in VCQueue.
+func (c *Controller) QueueLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Completions returns the number of Complete calls observed.
+func (c *Controller) Completions() uint64 { return c.completions.Load() }
+
+// Discards returns the number of Discard calls observed.
+func (c *Controller) Discards() uint64 { return c.discards.Load() }
+
+// CheckInvariants verifies the module's internal consistency. It is meant
+// for tests: it validates vtnc < tnc, queue ordering, and that the queue
+// head (if any) is the oldest invisible transaction.
+func (c *Controller) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	vtnc := c.vtnc.Load()
+	if vtnc >= c.tnc {
+		return fmt.Errorf("vc: vtnc (%d) >= tnc (%d)", vtnc, c.tnc)
+	}
+	n := 0
+	last := uint64(0)
+	for e := c.head; e != nil; e = e.next {
+		n++
+		if e.tn <= vtnc {
+			return fmt.Errorf("vc: queued entry tn %d <= vtnc %d", e.tn, vtnc)
+		}
+		if e.tn >= c.tnc {
+			return fmt.Errorf("vc: queued entry tn %d >= tnc %d", e.tn, c.tnc)
+		}
+		if e.tn <= last {
+			return fmt.Errorf("vc: queue out of order: %d after %d", e.tn, last)
+		}
+		if e.resolved {
+			return errors.New("vc: resolved entry still queued")
+		}
+		last = e.tn
+	}
+	if n != c.size {
+		return fmt.Errorf("vc: size %d != counted %d", c.size, n)
+	}
+	if c.head != nil && c.head.complete {
+		return errors.New("vc: completed entry stuck at queue head")
+	}
+	return nil
+}
+
+func (c *Controller) pushBack(e *Entry) {
+	if c.tail == nil {
+		c.head, c.tail = e, e
+	} else {
+		c.tail.next = e
+		e.prev = c.tail
+		c.tail = e
+	}
+	c.size++
+}
+
+func (c *Controller) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.size--
+}

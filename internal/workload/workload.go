@@ -1,0 +1,174 @@
+// Package workload generates the transaction mixes used by the experiment
+// harness: configurable read-only fraction, transaction shapes, key-space
+// size and skew (uniform or Zipf-distributed hot keys), with deterministic
+// per-client streams so every engine sees an identical workload.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is a single read or write step inside a transaction spec.
+type Op struct {
+	Key   string
+	Write bool
+	Value []byte
+}
+
+// TxnSpec is one generated transaction: a class and an ordered op list.
+type TxnSpec struct {
+	ReadOnly bool
+	Ops      []Op
+}
+
+// Config describes a workload.
+type Config struct {
+	// Keys is the key-space size (required, > 0).
+	Keys int
+	// KeyPrefix prefixes every generated key (default "key").
+	KeyPrefix string
+	// ReadOnlyFraction in [0,1] selects the share of read-only
+	// transactions.
+	ReadOnlyFraction float64
+	// ROReads is the number of reads per read-only transaction
+	// (default 4).
+	ROReads int
+	// RWReads and RWWrites shape read-write transactions (defaults 2, 2).
+	RWReads  int
+	RWWrites int
+	// ReadModifyWrite makes each read-write transaction read and then
+	// overwrite the SAME keys (RWWrites is ignored; RWReads keys are
+	// chosen). This is the classic counter/balance update shape and the
+	// most conflict-prone pattern under every protocol.
+	ReadModifyWrite bool
+	// ValueSize is the payload size in bytes (default 8).
+	ValueSize int
+	// Zipf > 1 selects Zipf-skewed key popularity with that s parameter
+	// (e.g. 1.2 mild, 1.6 hot); 0 selects uniform.
+	Zipf float64
+	// Seed makes generation deterministic across engines.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = "key"
+	}
+	if c.ROReads <= 0 {
+		c.ROReads = 4
+	}
+	if c.RWReads < 0 {
+		c.RWReads = 0
+	}
+	if c.RWReads == 0 && c.RWWrites == 0 {
+		c.RWReads, c.RWWrites = 2, 2
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 8
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Keys <= 0 {
+		return fmt.Errorf("workload: Keys must be > 0, got %d", c.Keys)
+	}
+	if c.ReadOnlyFraction < 0 || c.ReadOnlyFraction > 1 {
+		return fmt.Errorf("workload: ReadOnlyFraction %v outside [0,1]", c.ReadOnlyFraction)
+	}
+	if c.Zipf != 0 && c.Zipf <= 1 {
+		return fmt.Errorf("workload: Zipf parameter must be > 1 (or 0 for uniform), got %v", c.Zipf)
+	}
+	return nil
+}
+
+// Source generates a deterministic transaction stream. Not safe for
+// concurrent use: create one per client with NewSource(cfg, clientID).
+type Source struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewSource creates the stream for one client. Streams with the same
+// (cfg.Seed, client) are identical run to run and engine to engine.
+func NewSource(cfg Config, client int) (*Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(client)))
+	s := &Source{cfg: cfg, rng: rng}
+	if cfg.Zipf > 1 {
+		s.zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+	}
+	return s, nil
+}
+
+func (s *Source) key() string {
+	var i uint64
+	if s.zipf != nil {
+		i = s.zipf.Uint64()
+	} else {
+		i = uint64(s.rng.Intn(s.cfg.Keys))
+	}
+	return fmt.Sprintf("%s%06d", s.cfg.KeyPrefix, i)
+}
+
+func (s *Source) value() []byte {
+	v := make([]byte, s.cfg.ValueSize)
+	for i := range v {
+		v[i] = byte(s.rng.Intn(256))
+	}
+	return v
+}
+
+// Next generates the next transaction spec.
+func (s *Source) Next() TxnSpec {
+	if s.rng.Float64() < s.cfg.ReadOnlyFraction {
+		ops := make([]Op, s.cfg.ROReads)
+		for i := range ops {
+			ops[i] = Op{Key: s.key()}
+		}
+		return TxnSpec{ReadOnly: true, Ops: ops}
+	}
+	if s.cfg.ReadModifyWrite {
+		ops := make([]Op, 0, 2*s.cfg.RWReads)
+		seen := map[string]bool{}
+		for i := 0; i < s.cfg.RWReads; i++ {
+			k := s.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			ops = append(ops, Op{Key: k})
+		}
+		n := len(ops)
+		for i := 0; i < n; i++ {
+			ops = append(ops, Op{Key: ops[i].Key, Write: true, Value: s.value()})
+		}
+		return TxnSpec{Ops: ops}
+	}
+	ops := make([]Op, 0, s.cfg.RWReads+s.cfg.RWWrites)
+	for i := 0; i < s.cfg.RWReads; i++ {
+		ops = append(ops, Op{Key: s.key()})
+	}
+	for i := 0; i < s.cfg.RWWrites; i++ {
+		ops = append(ops, Op{Key: s.key(), Write: true, Value: s.value()})
+	}
+	return TxnSpec{Ops: ops}
+}
+
+// Bootstrap returns initial values for the whole key space, for
+// Engine.Bootstrap, so reads never miss.
+func (c Config) Bootstrap() map[string][]byte {
+	c = c.withDefaults()
+	m := make(map[string][]byte, c.Keys)
+	for i := 0; i < c.Keys; i++ {
+		v := make([]byte, c.ValueSize)
+		m[fmt.Sprintf("%s%06d", c.KeyPrefix, i)] = v
+	}
+	return m
+}

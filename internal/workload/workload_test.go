@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("Keys=0 accepted")
+	}
+	if err := (Config{Keys: 10, ReadOnlyFraction: 1.5}).Validate(); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+	if err := (Config{Keys: 10, Zipf: 0.5}).Validate(); err == nil {
+		t.Fatal("zipf 0.5 accepted")
+	}
+	if err := (Config{Keys: 10, Zipf: 1.3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Keys: 100, ReadOnlyFraction: 0.3, Seed: 42, Zipf: 1.2}
+	a, err := NewSource(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSource(cfg, 7)
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(a.Next(), b.Next()) {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	// Different client -> different stream (statistically certain to
+	// differ within 200 txns).
+	c, _ := NewSource(cfg, 8)
+	same := true
+	a2, _ := NewSource(cfg, 7)
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(a2.Next(), c.Next()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different clients produced identical streams")
+	}
+}
+
+func TestReadOnlyFraction(t *testing.T) {
+	cfg := Config{Keys: 10, ReadOnlyFraction: 0.5, Seed: 1}
+	s, _ := NewSource(cfg, 0)
+	ro := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if s.Next().ReadOnly {
+			ro++
+		}
+	}
+	if ro < n*4/10 || ro > n*6/10 {
+		t.Fatalf("read-only share = %d/%d, want ~50%%", ro, n)
+	}
+}
+
+func TestTxnShapes(t *testing.T) {
+	cfg := Config{Keys: 10, ROReads: 3, RWReads: 2, RWWrites: 4, ReadOnlyFraction: 0.5, Seed: 3}
+	s, _ := NewSource(cfg, 0)
+	for i := 0; i < 100; i++ {
+		spec := s.Next()
+		if spec.ReadOnly {
+			if len(spec.Ops) != 3 {
+				t.Fatalf("ro ops = %d", len(spec.Ops))
+			}
+			for _, op := range spec.Ops {
+				if op.Write {
+					t.Fatal("write in read-only spec")
+				}
+			}
+		} else {
+			reads, writes := 0, 0
+			for _, op := range spec.Ops {
+				if op.Write {
+					writes++
+					if len(op.Value) == 0 {
+						t.Fatal("write without value")
+					}
+				} else {
+					reads++
+				}
+			}
+			if reads != 2 || writes != 4 {
+				t.Fatalf("rw shape = %d reads, %d writes", reads, writes)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	uni, _ := NewSource(Config{Keys: 1000, Seed: 5}, 0)
+	hot, _ := NewSource(Config{Keys: 1000, Seed: 5, Zipf: 1.5}, 0)
+	countTop := func(s *Source) int {
+		freq := map[string]int{}
+		for i := 0; i < 4000; i++ {
+			for _, op := range s.Next().Ops {
+				freq[op.Key]++
+			}
+		}
+		max := 0
+		for _, n := range freq {
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	u, h := countTop(uni), countTop(hot)
+	if h < u*3 {
+		t.Fatalf("zipf top-key frequency %d not much hotter than uniform %d", h, u)
+	}
+}
+
+func TestBootstrapCoversKeySpace(t *testing.T) {
+	cfg := Config{Keys: 50, KeyPrefix: "acct"}
+	boot := cfg.Bootstrap()
+	if len(boot) != 50 {
+		t.Fatalf("bootstrap size = %d", len(boot))
+	}
+	s, _ := NewSource(cfg, 0)
+	for i := 0; i < 500; i++ {
+		for _, op := range s.Next().Ops {
+			if _, ok := boot[op.Key]; !ok {
+				t.Fatalf("generated key %q not bootstrapped", op.Key)
+			}
+			if !strings.HasPrefix(op.Key, "acct") {
+				t.Fatalf("key %q missing prefix", op.Key)
+			}
+		}
+	}
+}
+
+func TestReadModifyWriteShape(t *testing.T) {
+	cfg := Config{Keys: 16, RWReads: 3, ReadModifyWrite: true, Seed: 5}
+	s, _ := NewSource(cfg, 0)
+	for i := 0; i < 200; i++ {
+		spec := s.Next()
+		if spec.ReadOnly {
+			t.Fatal("unexpected read-only spec")
+		}
+		if len(spec.Ops)%2 != 0 {
+			t.Fatalf("odd op count %d", len(spec.Ops))
+		}
+		n := len(spec.Ops) / 2
+		readKeys := map[string]bool{}
+		for j := 0; j < n; j++ {
+			op := spec.Ops[j]
+			if op.Write {
+				t.Fatal("write in read half")
+			}
+			readKeys[op.Key] = true
+		}
+		for j := n; j < 2*n; j++ {
+			op := spec.Ops[j]
+			if !op.Write || len(op.Value) == 0 {
+				t.Fatal("bad write half")
+			}
+			if !readKeys[op.Key] {
+				t.Fatalf("write to unread key %q", op.Key)
+			}
+		}
+	}
+}

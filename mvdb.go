@@ -1,0 +1,416 @@
+// Package mvdb is a multiversion key-value transaction engine with
+// modular synchronization, reproducing Sengupta & Agrawal, "Modular
+// Synchronization in Multiversion Databases: Version Control and
+// Concurrency Control" (CUCS-426-89 / SIGMOD 1989).
+//
+// The engine separates synchronization into two components, exactly as
+// the paper prescribes: a tiny version control module that owns the
+// transaction-number and visibility counters, and a pluggable
+// conflict-based concurrency control protocol (two-phase locking,
+// timestamp ordering, or optimistic validation) that serializes
+// read-write transactions. Read-only transactions never touch the
+// concurrency control component: they take a snapshot number at begin and
+// read the largest committed version at or below it — they never block,
+// never abort, and never disturb writers.
+//
+// Quick start:
+//
+//	db, err := mvdb.Open(mvdb.Options{Protocol: mvdb.TwoPhaseLocking})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	err = db.Update(func(tx *mvdb.Tx) error {
+//		return tx.Put("greeting", []byte("hello"))
+//	})
+//
+//	err = db.View(func(tx *mvdb.Tx) error {
+//		v, err := tx.Get("greeting")
+//		...
+//	})
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's claims.
+package mvdb
+
+import (
+	"fmt"
+	"time"
+
+	"mvdb/internal/adaptive"
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/gc"
+	"mvdb/internal/lock"
+	"mvdb/internal/wal"
+)
+
+// Protocol selects the concurrency control used for read-write
+// transactions. Read-only transactions behave identically under all of
+// them — that independence is the paper's point.
+type Protocol int
+
+const (
+	// TwoPhaseLocking is strict 2PL with version-control registration at
+	// the lock-point (paper Figure 4). The default.
+	TwoPhaseLocking Protocol = iota
+	// TimestampOrdering assigns the serial order at begin (paper
+	// Figure 3). Writers that arrive too late abort and should retry.
+	TimestampOrdering
+	// Optimistic buffers writes and validates at commit.
+	Optimistic
+)
+
+func (p Protocol) String() string { return coreProtocol(p).String() }
+
+func coreProtocol(p Protocol) core.Protocol {
+	switch p {
+	case TimestampOrdering:
+		return core.TimestampOrdering
+	case Optimistic:
+		return core.Optimistic
+	default:
+		return core.TwoPhaseLocking
+	}
+}
+
+// DeadlockPolicy selects how the 2PL engine resolves deadlocks.
+type DeadlockPolicy int
+
+const (
+	// DeadlockDetect aborts the requester that would close a waits-for
+	// cycle. The default.
+	DeadlockDetect DeadlockPolicy = iota
+	// DeadlockWoundWait wounds younger conflicting transactions.
+	DeadlockWoundWait
+	// DeadlockTimeout aborts lock waits after Options.LockTimeout.
+	DeadlockTimeout
+)
+
+func lockPolicy(p DeadlockPolicy) lock.Policy {
+	switch p {
+	case DeadlockWoundWait:
+		return lock.WoundWait
+	case DeadlockTimeout:
+		return lock.TimeoutPolicy
+	default:
+		return lock.Detect
+	}
+}
+
+// Errors returned by transactions. ErrConflict, ErrDeadlock and
+// ErrWounded mean the transaction aborted and may be retried (IsRetryable
+// reports this; Update retries automatically).
+var (
+	ErrNotFound = engine.ErrNotFound
+	ErrConflict = engine.ErrConflict
+	ErrDeadlock = engine.ErrDeadlock
+	ErrWounded  = engine.ErrWounded
+	ErrReadOnly = engine.ErrReadOnly
+	ErrTxDone   = engine.ErrTxDone
+)
+
+// IsRetryable reports whether err is a transient transaction abort.
+func IsRetryable(err error) bool { return engine.Retryable(err) }
+
+// Options configures Open.
+type Options struct {
+	// Protocol selects the read-write concurrency control.
+	Protocol Protocol
+	// DeadlockPolicy applies to TwoPhaseLocking.
+	DeadlockPolicy DeadlockPolicy
+	// LockTimeout applies to DeadlockTimeout (default 50ms).
+	LockTimeout time.Duration
+	// Shards sets store sharding (0 = default 64).
+	Shards int
+	// GCInterval enables background garbage collection of unreachable
+	// versions at the given period (0 disables it). When enabled, active
+	// read-only snapshots are tracked so no reachable version is ever
+	// collected.
+	GCInterval time.Duration
+	// WALPath enables durability: committed write sets are logged before
+	// they become visible, and Open recovers the store from an existing
+	// log at this path. Empty disables the log.
+	WALPath string
+	// SyncEveryCommit fsyncs the log on every commit (slower, safest).
+	// Without it the log is flushed by the OS and on Close.
+	SyncEveryCommit bool
+	// MaxUpdateRetries bounds Update's automatic retries (default 100).
+	MaxUpdateRetries int
+	// AdaptiveCC, when set, ignores Protocol and runs read-write
+	// transactions under an adaptive scheme: optimistic while conflicts
+	// are rare, two-phase locking when the windowed conflict rate crosses
+	// a high-water mark, switching behind a brief epoch barrier that
+	// never affects read-only transactions. (The kind of experimentation
+	// the paper's modularity enables, Section 1.)
+	AdaptiveCC bool
+}
+
+// DB is an open database.
+type DB struct {
+	eng       *core.Engine     // underlying engine (read-only paths, GC, stats)
+	rw        engine.Engine    // read-write entry point (adaptive wrapper or eng)
+	ad        *adaptive.Engine // non-nil when AdaptiveCC
+	collector *gc.Collector
+	log       *wal.Writer
+	walPath   string
+	retries   int
+	closed    bool
+}
+
+// Open creates (or, when Options.WALPath names an existing log, recovers)
+// a database.
+func Open(opts Options) (*DB, error) {
+	coreOpts := core.Options{
+		Protocol:      coreProtocol(opts.Protocol),
+		LockPolicy:    lockPolicy(opts.DeadlockPolicy),
+		LockTimeout:   opts.LockTimeout,
+		Shards:        opts.Shards,
+		TrackReadOnly: opts.GCInterval > 0,
+	}
+	retries := opts.MaxUpdateRetries
+	if retries <= 0 {
+		retries = 100
+	}
+
+	var eng *core.Engine
+	var log *wal.Writer
+	if opts.WALPath != "" {
+		policy := wal.SyncNever
+		if opts.SyncEveryCommit {
+			policy = wal.SyncEveryCommit
+		}
+		horizon, snapRecs, err := loadSnapshot(snapPath(opts.WALPath))
+		if err != nil {
+			return nil, fmt.Errorf("mvdb: read snapshot: %w", err)
+		}
+		recovered, validLen, err := core.Restore(snapRecs, horizon, opts.WALPath, coreOpts)
+		if err != nil {
+			return nil, fmt.Errorf("mvdb: recover: %w", err)
+		}
+		log, err = wal.OpenAppend(opts.WALPath, validLen, policy)
+		if err != nil {
+			return nil, fmt.Errorf("mvdb: open log: %w", err)
+		}
+		if err := recovered.SetWAL(log); err != nil {
+			log.Close()
+			return nil, err
+		}
+		eng = recovered
+	} else {
+		eng = core.New(coreOpts)
+	}
+
+	db := &DB{eng: eng, rw: eng, log: log, walPath: opts.WALPath, retries: retries}
+	if opts.AdaptiveCC {
+		eng.SetProtocol(core.Optimistic)
+		db.ad = adaptive.Wrap(eng, adaptive.Options{})
+		db.rw = db.ad
+	}
+	if opts.GCInterval > 0 {
+		db.collector = gc.New(eng, opts.GCInterval)
+		db.collector.Start()
+	}
+	return db, nil
+}
+
+// Close stops background work and flushes the log.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.collector != nil {
+		db.collector.Stop()
+	}
+	err := db.eng.Close()
+	if db.log != nil {
+		if cerr := db.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Bootstrap loads initial data as the pre-transactional state (version
+// 0). It must be called before the first transaction. Note that
+// bootstrapped data is NOT logged; for durable initial data, load it with
+// Update instead.
+func (db *DB) Bootstrap(data map[string][]byte) error {
+	return db.eng.Bootstrap(data)
+}
+
+// Begin starts a read-write transaction.
+func (db *DB) Begin() (*Tx, error) {
+	t, err := db.rw.Begin(engine.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{t: t}, nil
+}
+
+// CurrentProtocol reports the concurrency control currently in force for
+// read-write transactions (it only changes under Options.AdaptiveCC).
+func (db *DB) CurrentProtocol() string { return db.eng.Protocol().String() }
+
+// BeginReadOnly starts a read-only snapshot transaction (paper Figure 2):
+// one counter read, then wait-free reads of the snapshot at that point.
+// The snapshot may trail the newest commits by the visibility lag; see
+// BeginReadOnlyRecent.
+func (db *DB) BeginReadOnly() (*Tx, error) {
+	t, err := db.eng.Begin(engine.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{t: t}, nil
+}
+
+// BeginReadOnlyRecent starts a read-only transaction guaranteed to
+// observe everything serialized before this call, waiting out the
+// visibility lag if necessary (the paper's Section 6 rectification).
+func (db *DB) BeginReadOnlyRecent() (*Tx, error) {
+	t, err := db.eng.BeginReadOnlyRecent()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{t: t}, nil
+}
+
+// BeginReadOnlyAt starts a read-only transaction whose snapshot is pinned
+// at exactly serialization position sn (waiting if sn is not yet
+// visible). Pass the TN of one of your own committed transactions (Tx.TN)
+// for read-your-writes, or a historical position for time travel;
+// positions older than the garbage-collection watermark read the oldest
+// retained versions.
+func (db *DB) BeginReadOnlyAt(sn uint64) (*Tx, error) {
+	t, err := db.eng.BeginReadOnlyAt(sn)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{t: t}, nil
+}
+
+// View runs fn in a read-only transaction. The transaction commits when
+// fn returns nil and aborts otherwise; either way reads are wait-free and
+// fn is called exactly once (snapshot reads cannot conflict).
+func (db *DB) View(fn func(*Tx) error) error {
+	tx, err := db.BeginReadOnly()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Update runs fn in a read-write transaction, retrying automatically when
+// the engine aborts it with a retryable conflict (up to
+// Options.MaxUpdateRetries attempts). fn must be idempotent per attempt
+// and must not keep references to data read in failed attempts.
+func (db *DB) Update(fn func(*Tx) error) error {
+	var last error
+	for attempt := 0; attempt < db.retries; attempt++ {
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			if IsRetryable(err) {
+				last = err
+				continue
+			}
+			return err
+		}
+		err = tx.Commit()
+		if err == nil {
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("mvdb: update retries exhausted: %w", last)
+}
+
+// Stats returns a snapshot of engine counters (see engine.Engine.Stats
+// for the key vocabulary), plus garbage collection totals when enabled.
+func (db *DB) Stats() map[string]int64 {
+	m := db.eng.Stats()
+	if db.ad != nil {
+		m["adaptive.switches"] = int64(db.ad.Switches())
+	}
+	if db.collector != nil {
+		m["gc.pruned"] = int64(db.collector.Pruned())
+		m["gc.passes"] = int64(db.collector.Passes())
+	}
+	return m
+}
+
+// CollectGarbage runs one synchronous garbage collection pass and returns
+// the number of versions discarded. It works even when background GC is
+// disabled, provided Options.GCInterval tracking is on; without tracking
+// it conservatively uses only the visibility horizon.
+func (db *DB) CollectGarbage() int {
+	if db.collector != nil {
+		return db.collector.Collect()
+	}
+	return gc.New(db.eng, 0).Collect()
+}
+
+// VisibilityLag returns how many assigned serialization positions are not
+// yet visible to new read-only transactions (paper Section 6's "lag
+// between the two counters").
+func (db *DB) VisibilityLag() uint64 { return db.eng.VC().Lag() }
+
+// Tx is a transaction handle. It is not safe for concurrent use.
+type Tx struct {
+	t engine.Tx
+}
+
+// Get returns the value of key, or ErrNotFound.
+func (tx *Tx) Get(key string) ([]byte, error) { return tx.t.Get(key) }
+
+// GetString is a convenience wrapper returning the value as a string.
+func (tx *Tx) GetString(key string) (string, error) {
+	v, err := tx.t.Get(key)
+	return string(v), err
+}
+
+// Put sets key to value. The value is retained; do not mutate it after.
+func (tx *Tx) Put(key string, value []byte) error { return tx.t.Put(key, value) }
+
+// PutString is a convenience wrapper for string values.
+func (tx *Tx) PutString(key, value string) error { return tx.t.Put(key, []byte(value)) }
+
+// Delete removes key.
+func (tx *Tx) Delete(key string) error { return tx.t.Delete(key) }
+
+// Commit finishes the transaction, making its effects visible in
+// serialization order.
+func (tx *Tx) Commit() error { return tx.t.Commit() }
+
+// Abort discards the transaction. It is safe to call after an operation
+// already aborted the transaction, and after Commit (no-op).
+func (tx *Tx) Abort() { tx.t.Abort() }
+
+// Scan iterates over every live key with the given prefix in ascending
+// key order at the transaction's snapshot (read-only transactions only).
+// fn returning false stops the scan early.
+func (tx *Tx) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	if s, ok := tx.t.(engine.Scanner); ok {
+		return s.Scan(prefix, fn)
+	}
+	return fmt.Errorf("%w: Scan requires a read-only transaction", ErrReadOnly)
+}
+
+// ReadOnly reports whether this is a read-only transaction.
+func (tx *Tx) ReadOnly() bool { return tx.t.Class() == engine.ReadOnly }
+
+// TN returns the transaction's serialization position: for read-only
+// transactions the snapshot number (available immediately); for
+// read-write transactions the assigned transaction number (available
+// after Commit under 2PL/OCC, at begin under timestamp ordering).
+func (tx *Tx) TN() (uint64, bool) { return tx.t.SN() }

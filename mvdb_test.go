@@ -1,0 +1,434 @@
+package mvdb
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func allProtocols() []Protocol {
+	return []Protocol{TwoPhaseLocking, TimestampOrdering, Optimistic}
+}
+
+func TestOpenCloseAllProtocols(t *testing.T) {
+	for _, p := range allProtocols() {
+		db, err := Open(Options{Protocol: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err) // idempotent
+		}
+	}
+}
+
+func TestUpdateAndView(t *testing.T) {
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			db, err := Open(Options{Protocol: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			if err := db.Update(func(tx *Tx) error {
+				return tx.PutString("k", "v1")
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var got string
+			if err := db.View(func(tx *Tx) error {
+				var err error
+				got, err = tx.GetString("k")
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != "v1" {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestViewErrorAborts(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	sentinel := errors.New("boom")
+	if err := db.View(func(*Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateRetriesConflicts(t *testing.T) {
+	db, err := Open(Options{Protocol: TimestampOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Update(func(tx *Tx) error { return tx.PutString("n", "0") }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Counter increments from many goroutines: timestamp ordering aborts
+	// late writers constantly; Update must retry them to completion.
+	const workers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				err := db.Update(func(tx *Tx) error {
+					v, err := tx.Get("n")
+					if err != nil {
+						return err
+					}
+					return tx.Put("n", []byte(fmt.Sprintf("%d", mustAtoi(v)+1)))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var final string
+	db.View(func(tx *Tx) error { final, _ = tx.GetString("n"); return nil })
+	if final != fmt.Sprintf("%d", workers*each) {
+		t.Fatalf("counter = %s, want %d", final, workers*each)
+	}
+}
+
+func mustAtoi(b []byte) int {
+	n := 0
+	for _, c := range b {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestDeleteAndNotFound(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	if err := db.View(func(tx *Tx) error {
+		_, err := tx.Get("missing")
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Update(func(tx *Tx) error { return tx.PutString("k", "v") })
+	db.Update(func(tx *Tx) error { return tx.Delete("k") })
+	db.View(func(tx *Tx) error {
+		if _, err := tx.Get("k"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("post-delete err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestReadOnlyTxRejectsWrites(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	tx, _ := db.BeginReadOnly()
+	if !tx.ReadOnly() {
+		t.Fatal("ReadOnly() = false")
+	}
+	if err := tx.PutString("a", "b"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+	tx.Commit()
+}
+
+func TestReadYourWritesViaTN(t *testing.T) {
+	db, _ := Open(Options{Protocol: TwoPhaseLocking})
+	defer db.Close()
+	tx, _ := db.Begin()
+	tx.PutString("mine", "yes")
+	if _, ok := tx.TN(); ok {
+		t.Fatal("2PL tx has TN before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := tx.TN()
+	if !ok {
+		t.Fatal("no TN after commit")
+	}
+	ro, err := db.BeginReadOnlyAt(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ro.GetString("mine"); err != nil || v != "yes" {
+		t.Fatalf("read-your-writes got (%q,%v)", v, err)
+	}
+	ro.Commit()
+}
+
+func TestBeginReadOnlyRecent(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	db.Update(func(tx *Tx) error { return tx.PutString("x", "1") })
+	ro, err := db.BeginReadOnlyRecent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ro.GetString("x"); v != "1" {
+		t.Fatalf("recent snapshot got %q", v)
+	}
+	ro.Commit()
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	db, err := Open(Options{WALPath: path, SyncEveryCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			return tx.PutString("k", fmt.Sprintf("v%d", i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var got string
+	db2.View(func(tx *Tx) error { got, _ = tx.GetString("k"); return nil })
+	if got != "v4" {
+		t.Fatalf("recovered %q, want v4", got)
+	}
+	// And it keeps accepting writes.
+	if err := db2.Update(func(tx *Tx) error { return tx.PutString("k", "v5") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCKeepsSnapshotsReadable(t *testing.T) {
+	db, err := Open(Options{GCInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Update(func(tx *Tx) error { return tx.PutString("k", "first") })
+	old, _ := db.BeginReadOnly()
+	for i := 0; i < 200; i++ {
+		db.Update(func(tx *Tx) error { return tx.PutString("k", fmt.Sprintf("v%d", i)) })
+	}
+	time.Sleep(20 * time.Millisecond) // let GC run
+	if v, err := old.GetString("k"); err != nil || v != "first" {
+		t.Fatalf("old snapshot got (%q,%v), want first", v, err)
+	}
+	old.Commit()
+	db.CollectGarbage()
+	if db.Stats()["gc.pruned"] == 0 {
+		t.Fatal("GC pruned nothing")
+	}
+	db.View(func(tx *Tx) error {
+		if v, _ := tx.GetString("k"); v != "v199" {
+			t.Fatalf("latest = %q", v)
+		}
+		return nil
+	})
+}
+
+func TestSnapshotIsolationUnderConcurrentWrites(t *testing.T) {
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			db, _ := Open(Options{Protocol: p})
+			defer db.Close()
+			db.Update(func(tx *Tx) error {
+				tx.PutString("a", "0")
+				return tx.PutString("b", "0")
+			})
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i++
+					v := fmt.Sprintf("%d", i)
+					db.Update(func(tx *Tx) error {
+						if err := tx.PutString("a", v); err != nil {
+							return err
+						}
+						return tx.PutString("b", v)
+					})
+				}
+			}()
+			// Snapshot readers must always see a == b.
+			for i := 0; i < 300; i++ {
+				db.View(func(tx *Tx) error {
+					a, _ := tx.GetString("a")
+					b, _ := tx.GetString("b")
+					if a != b {
+						t.Errorf("torn snapshot: a=%q b=%q", a, b)
+					}
+					return nil
+				})
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+func TestVisibilityLagExposed(t *testing.T) {
+	db, _ := Open(Options{Protocol: TimestampOrdering})
+	defer db.Close()
+	if db.VisibilityLag() != 0 {
+		t.Fatal("fresh db has lag")
+	}
+	tx, _ := db.Begin() // registers at begin under T/O
+	tx.PutString("x", "1")
+	if db.VisibilityLag() == 0 {
+		t.Fatal("active registered txn should create lag")
+	}
+	tx.Commit()
+	if db.VisibilityLag() != 0 {
+		t.Fatal("lag after commit")
+	}
+}
+
+func TestStatsVocabulary(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	db.Update(func(tx *Tx) error { return tx.PutString("k", "v") })
+	db.View(func(tx *Tx) error { _, err := tx.Get("k"); return err })
+	st := db.Stats()
+	if st["commits.rw"] != 1 || st["commits.ro"] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestScanSnapshot(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	db.Update(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			if err := tx.PutString(fmt.Sprintf("user/%02d", i), fmt.Sprintf("u%d", i)); err != nil {
+				return err
+			}
+		}
+		return tx.PutString("other/x", "nope")
+	})
+	db.Update(func(tx *Tx) error { return tx.Delete("user/03") })
+
+	ro, _ := db.BeginReadOnly()
+	var keys []string
+	if err := ro.Scan("user/", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ro.Commit()
+	if len(keys) != 9 {
+		t.Fatalf("scanned %d keys, want 9 (tombstone skipped): %v", len(keys), keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan not ordered: %v", keys)
+		}
+	}
+
+	// Scans are snapshot-stable: concurrent writes do not appear.
+	ro2, _ := db.BeginReadOnly()
+	db.Update(func(tx *Tx) error { return tx.PutString("user/99", "late") })
+	n := 0
+	ro2.Scan("user/", func(string, []byte) bool { n++; return true })
+	ro2.Commit()
+	if n != 9 {
+		t.Fatalf("snapshot scan saw %d keys, want 9", n)
+	}
+
+	// Early stop.
+	ro3, _ := db.BeginReadOnly()
+	n = 0
+	ro3.Scan("user/", func(string, []byte) bool { n++; return n < 3 })
+	ro3.Commit()
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+
+	// Read-write transactions do not support Scan.
+	rw, _ := db.Begin()
+	if err := rw.Scan("user/", func(string, []byte) bool { return true }); err == nil {
+		t.Fatal("rw Scan succeeded")
+	}
+	rw.Abort()
+}
+
+func TestAdaptiveCCOption(t *testing.T) {
+	db, err := Open(Options{AdaptiveCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.CurrentProtocol() != "vc+occ" {
+		t.Fatalf("initial protocol = %q, want vc+occ", db.CurrentProtocol())
+	}
+	if err := db.Update(func(tx *Tx) error { return tx.PutString("k", "v") }); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	db.View(func(tx *Tx) error { got, _ = tx.GetString("k"); return nil })
+	if got != "v" {
+		t.Fatalf("got %q", got)
+	}
+	if _, ok := db.Stats()["adaptive.switches"]; !ok {
+		t.Fatal("adaptive stats missing")
+	}
+
+	// Hammer a single hot key with think time: conflicts should
+	// eventually flip the protocol to locking.
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				db.Update(func(tx *Tx) error {
+					v, err := tx.Get("hot")
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						return err
+					}
+					time.Sleep(50 * time.Microsecond)
+					return tx.Put("hot", append([]byte{1}, v...))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Stats()["adaptive.switches"] == 0 {
+		t.Log("note: no switch occurred (policy is rate-based); acceptable but unusual under this load")
+	}
+}
