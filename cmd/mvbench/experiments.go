@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mvdb/internal/adaptive"
@@ -17,6 +18,30 @@ import (
 
 	"mvdb/internal/dist"
 )
+
+// showStats is set by the -stats flag: after each harness run the
+// engine's counter snapshot is printed (nonzero counters only).
+var showStats bool
+
+// dumpStats renders one run's engine counters as a table, skipping
+// zero-valued counters so the interesting ones stand out.
+func dumpStats(label string, st map[string]int64) {
+	if !showStats || len(st) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(st))
+	for k, v := range st {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	tb := metrics.Table{Title: "stats — " + label, Headers: []string{"counter", "value"}}
+	for _, k := range keys {
+		tb.AddRow(k, fmt.Sprint(st[k]))
+	}
+	fmt.Print(tb.String())
+}
 
 // bootstrapper is implemented by every engine in this repository.
 type bootstrapper interface {
@@ -134,6 +159,7 @@ func runE1(quick bool) {
 			panic(err)
 		}
 		tb.AddRow(ne.name, metrics.Dur(int64(res.ROLatency.Mean)), metrics.Dur(res.ROLatency.P99), notes[ne.name])
+		dumpStats("e1 "+ne.name, res.Stats)
 		e.Close()
 	}
 	fmt.Print(tb.String())
@@ -169,6 +195,7 @@ func runE2(quick bool) {
 				fmt.Sprint(res.CommittedRW),
 				fmt.Sprint(res.Stats["aborts.conflict"]),
 				fmt.Sprint(res.Stats["rw.aborts.by_ro"]))
+			dumpStats(fmt.Sprintf("e2 %s ro=%.2f", ne.name, roFrac), res.Stats)
 			e.Close()
 		}
 	}
@@ -202,6 +229,7 @@ func runE3(quick bool) {
 		tb.AddRow(ne.name, fmt.Sprint(res.CommittedRO), fmt.Sprint(blocked),
 			fmt.Sprint(res.RORetries),
 			metrics.Dur(res.ROLatency.P99), metrics.Dur(res.RWLatency.P99))
+		dumpStats("e3 "+ne.name, res.Stats)
 		e.Close()
 	}
 	fmt.Print(tb.String())
@@ -313,6 +341,7 @@ func runE5(quick bool) {
 				cell += fmt.Sprintf(" !%d", res.ROAbandoned)
 			}
 			row = append(row, cell)
+			dumpStats(fmt.Sprintf("e5 %s ro=%.0f%% zipf=%.1f", ne.name, cl.ro*100, cl.zipf), res.Stats)
 			e.Close()
 		}
 		tb.AddRow(row...)
@@ -488,6 +517,7 @@ func runE8(quick bool) {
 			msgs := float64(c.Stats()["bus.messages"]) / float64(total)
 			tb.AddRow(fmt.Sprint(sites), fmt.Sprint(lat), metrics.F(res.Throughput()),
 				metrics.F(msgs), fmt.Sprint(c.Stats()["ro.waits"]), fmt.Sprint(c.Stats()["ro.fillers"]))
+			dumpStats(fmt.Sprintf("e8 sites=%d lat=%v", sites, lat), c.Stats())
 			c.Close()
 		}
 	}
@@ -537,6 +567,8 @@ func runA3(quick bool) {
 		}
 		tb.AddRow(name, metrics.F(resCalm.Throughput()), metrics.F(resHot.Throughput()),
 			fmt.Sprint(resHot.Retries), sw)
+		dumpStats("a3 "+name+" calm", resCalm.Stats)
+		dumpStats("a3 "+name+" hot", resHot.Stats)
 		e.Close()
 	}
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mvbench [-experiment all|f1|e1|e2|e3|e4|e5|e6|e7|e8] [-quick]
+//	mvbench [-experiment all|f1|e1|e2|e3|e4|e5|e6|e7|e8] [-quick] [-stats]
+//
+// With -stats, every harness run is followed by the engine's full
+// counter snapshot (commits and aborts by cause, lock/WAL/GC substrate,
+// version-control gauges) so a surprising table cell can be explained
+// without re-running under a profiler.
 //
 // Each experiment prints one or more plain-text tables. Absolute numbers
 // depend on the machine (these are CPU-bound simulations, not the paper's
@@ -24,8 +29,10 @@ func main() {
 	var (
 		which = flag.String("experiment", "all", "experiment id (f1, e1..e8) or 'all'")
 		quick = flag.Bool("quick", false, "smaller runs (CI-sized)")
+		stats = flag.Bool("stats", false, "print the engine's full stats snapshot after each run")
 	)
 	flag.Parse()
+	showStats = *stats
 
 	experiments := []struct {
 		id   string

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mvdb/internal/metrics"
+	"mvdb/internal/obs"
+)
+
+// runLive polls a running database's /debug/mvdb endpoint (see
+// mvdb.Options.DebugAddr) and renders each snapshot as a table, with
+// per-interval deltas for the counters that move. count == 0 polls until
+// the process is interrupted.
+func runLive(addr string, interval time.Duration, count int) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	url := "http://" + addr + "/debug/mvdb"
+	client := &http.Client{Timeout: interval}
+	var prev *obs.Payload
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur, err := fetchPayload(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvinspect: %v\n", err)
+			os.Exit(1)
+		}
+		tb := liveTable(addr, cur, prev, interval)
+		fmt.Print(tb.String())
+		prev = cur
+	}
+}
+
+func fetchPayload(client *http.Client, url string) (*obs.Payload, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var p obs.Payload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &p, nil
+}
+
+// liveTable renders one snapshot. When prev is non-nil, counter rows get
+// a third column with the per-second rate over the poll interval.
+func liveTable(addr string, cur, prev *obs.Payload, interval time.Duration) metrics.Table {
+	tb := metrics.Table{
+		Title:   fmt.Sprintf("%s — %s", addr, time.Now().Format("15:04:05")),
+		Headers: []string{"metric", "value", "delta/s"},
+	}
+	s := cur.Stats
+	var p obs.Snapshot
+	if prev != nil {
+		p = prev.Stats
+	}
+	rate := func(cur, prev int64) string {
+		if interval <= 0 {
+			return ""
+		}
+		d := float64(cur-prev) / interval.Seconds()
+		if d == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%+.0f", d)
+	}
+	counter := func(name string, c, pv int64) {
+		delta := ""
+		if prev != nil {
+			delta = rate(c, pv)
+		}
+		tb.AddRow(name, fmt.Sprint(c), delta)
+	}
+	gauge := func(name string, v any) { tb.AddRow(name, fmt.Sprint(v), "") }
+
+	gauge("protocol", s.Protocol)
+	counter("commits ro", s.CommitsRO, p.CommitsRO)
+	counter("commits rw", s.CommitsRW, p.CommitsRW)
+	counter("begins ro", s.BeginsRO, p.BeginsRO)
+	counter("begins rw", s.BeginsRW, p.BeginsRW)
+	counter("retries", s.Retries, p.Retries)
+	counter("aborts (all causes)", s.AbortsTotal(), p.AbortsTotal())
+	counter("  conflict", s.AbortsConflict, p.AbortsConflict)
+	counter("  deadlock", s.AbortsDeadlock, p.AbortsDeadlock)
+	counter("  wounded", s.AbortsWounded, p.AbortsWounded)
+	counter("  timeout", s.AbortsTimeout, p.AbortsTimeout)
+	counter("  user", s.AbortsUser, p.AbortsUser)
+	counter("lock waits", s.LockWaits, p.LockWaits)
+	if s.LockWait.Count > 0 {
+		gauge("lock wait p99", metrics.Dur(s.LockWait.P99))
+	}
+	counter("wal appends", s.WALAppends, p.WALAppends)
+	counter("wal bytes", s.WALBytes, p.WALBytes)
+	counter("gc passes", s.GCPasses, p.GCPasses)
+	counter("gc reclaimed", s.GCReclaimed, p.GCReclaimed)
+	gauge("tnc / vtnc", fmt.Sprintf("%d / %d", s.TNC, s.VTNC))
+	gauge("visibility lag", s.VisibilityLag)
+	gauge("vc queue", s.VCQueueLen)
+	gauge("keys / versions", fmt.Sprintf("%d / %d", s.Keys, s.Versions))
+	gauge("version chain max/mean", fmt.Sprintf("%d / %.2f", s.MaxVersionChain, s.MeanVersionChain))
+	for k, v := range s.Extra {
+		gauge(k, v)
+	}
+	if n := len(cur.Trace); n > 0 {
+		last := cur.Trace[n-1]
+		gauge("trace events retained", n)
+		gauge("last event", fmt.Sprintf("seq=%d tx=%d %s", last.Seq, last.Tx, last.Type))
+	}
+	return tb
+}

@@ -1,12 +1,19 @@
-// Command mvinspect is the DBA's view of the durability artifacts: it
-// decodes a commit log (or checkpoint snapshot, which shares the format),
-// validating CRCs, summarizing the transaction-number range and write
-// volume, flagging the torn tail if any, and optionally dumping every
-// record.
+// Command mvinspect is the DBA's view of a database, offline or live.
+//
+// Offline, it decodes a commit log (or checkpoint snapshot, which shares
+// the format), validating CRCs, summarizing the transaction-number range
+// and write volume, flagging the torn tail if any, and optionally
+// dumping every record.
+//
+// Live, with -live it polls a running database's /debug/mvdb endpoint
+// (enabled by mvdb.Options.DebugAddr) and renders each stats snapshot —
+// commits and aborts by cause, lock/WAL/GC substrate counters, the
+// paper's visibility gauges — with per-second deltas between polls.
 //
 // Usage:
 //
 //	mvinspect [-v] [-key <filter>] <commit.log | commit.log.snap>
+//	mvinspect -live <host:port> [-interval 1s] [-count N]
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mvdb/internal/metrics"
 	"mvdb/internal/wal"
@@ -21,12 +29,19 @@ import (
 
 func main() {
 	var (
-		verbose = flag.Bool("v", false, "dump every record")
-		keyFilt = flag.String("key", "", "only show records touching keys containing this substring")
+		verbose  = flag.Bool("v", false, "dump every record")
+		keyFilt  = flag.String("key", "", "only show records touching keys containing this substring")
+		live     = flag.String("live", "", "poll a running database's debug endpoint (host:port) instead of reading a log")
+		interval = flag.Duration("interval", time.Second, "poll interval with -live")
+		count    = flag.Int("count", 0, "number of polls with -live (0 = until interrupted)")
 	)
 	flag.Parse()
+	if *live != "" {
+		runLive(*live, *interval, *count)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mvinspect [-v] [-key substr] <logfile>")
+		fmt.Fprintln(os.Stderr, "usage: mvinspect [-v] [-key substr] <logfile>\n       mvinspect -live <host:port> [-interval 1s] [-count N]")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)

@@ -168,9 +168,9 @@ func main() {
 	fmt.Printf("max visibility lag observed by reports: %d positions\n", maxReportLag.Load())
 	fmt.Printf("fresh (recency-rectified) report total: %d (expected %d)\n", finalSum, totalStock)
 	fmt.Printf("read-only commits  %d — zero blocking, zero aborts caused (by_ro=%d)\n",
-		st["commits.ro"], st["rw.aborts.by_ro"])
+		st.CommitsRO, st.RWAbortsByRO)
 	if *useGC {
-		fmt.Printf("gc                 %d versions pruned in %d passes\n", st["gc.pruned"], st["gc.passes"])
+		fmt.Printf("gc                 %d versions pruned in %d passes\n", st.GCReclaimed, st.GCPasses)
 	}
 	if finalSum != totalStock {
 		log.Fatal("FINAL REPORT INCONSISTENT")

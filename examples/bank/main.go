@@ -166,9 +166,9 @@ func main() {
 	fmt.Printf("audits completed    %d (violations: %d)\n", audits.Load(), auditViolations.Load())
 	fmt.Printf("final total         %d (expected %d)\n", total, want)
 	fmt.Printf("engine aborts       conflict=%d deadlock=%d wounded=%d\n",
-		st["aborts.conflict"], st["aborts.deadlock"], st["aborts.wounded"])
+		st.AbortsConflict, st.AbortsDeadlock, st.AbortsWounded)
 	fmt.Printf("rw aborts caused by read-only txns: %d (the paper's guarantee: always 0)\n",
-		st["rw.aborts.by_ro"])
+		st.RWAbortsByRO)
 	if total != want || auditViolations.Load() > 0 {
 		log.Fatal("CONSERVATION VIOLATED")
 	}

@@ -77,6 +77,7 @@ func main() {
 		})
 	})
 
+	st := db.Stats()
 	fmt.Printf("stats: %d read-write commits, %d read-only commits\n",
-		db.Stats()["commits.rw"], db.Stats()["commits.ro"])
+		st.CommitsRW, st.CommitsRO)
 }

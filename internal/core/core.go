@@ -29,6 +29,7 @@ import (
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lock"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 	"mvdb/internal/vc"
 	"mvdb/internal/wal"
@@ -81,6 +82,11 @@ type Options struct {
 	// before its versions are installed. Use Recover to rebuild an
 	// engine from such a log.
 	WAL *wal.Writer
+	// Trace, when non-nil, receives begin/read/write/commit/abort
+	// events (via a production obs.Recorder attached alongside any
+	// Recorder above) plus lock-wait events from the lock manager. Nil
+	// disables event tracing at zero cost; counters are always on.
+	Trace *obs.Tracer
 
 	// UnsafeEarlyRegister2PL is ablation A1: it makes the 2PL engine
 	// register transactions with version control at begin instead of at
@@ -110,33 +116,35 @@ type Engine struct {
 
 	roActive roRegistry
 
-	commitsRO       atomic.Uint64
-	commitsRW       atomic.Uint64
-	abortsConflict  atomic.Uint64
-	abortsDeadlock  atomic.Uint64
-	abortsWounded   atomic.Uint64
-	abortsUser      atomic.Uint64
-	abortsByRO      atomic.Uint64 // rw aborts attributable to read-only txns
-	roBlocked       atomic.Uint64 // read-only reads that blocked (always 0 here)
-	recencyWaits    atomic.Uint64
+	// stats is the engine-wide observability registry (internal/obs):
+	// every lifecycle counter lives there, shared with the public
+	// Stats API and the /debug/mvdb endpoint.
+	stats           *obs.Stats
 	closed          atomic.Bool
 	bootstrapSealed atomic.Bool
 }
 
 // New creates an engine.
 func New(opts Options) *Engine {
+	var tracerRec engine.Recorder
+	if opts.Trace != nil {
+		tracerRec = obs.Recorder{T: opts.Trace}
+	}
 	e := &Engine{
 		opts:  opts,
 		store: storage.NewStore(opts.Shards),
 		vc:    vc.New(0),
-		rec:   opts.Recorder,
-	}
-	if e.rec == nil {
-		e.rec = engine.NopRecorder{}
+		rec:   engine.Multi(opts.Recorder, tracerRec),
+		stats: obs.NewStats(),
 	}
 	// The lock manager exists regardless of the initial protocol so that
-	// SetProtocol can swap to two-phase locking later.
+	// SetProtocol can swap to two-phase locking later. Its wait observer
+	// feeds the wait-time histogram and (when tracing) lock-wait events.
 	e.locks = lock.NewManager(opts.LockPolicy, opts.LockTimeout)
+	e.locks.SetWaitObserver(func(txID uint64, key string, wait time.Duration) {
+		e.stats.LockWaitNanos.Record(wait.Nanoseconds())
+		opts.Trace.Record(obs.Event{Type: obs.EvLockWait, Tx: txID, Key: key, Dur: wait.Nanoseconds()})
+	})
 	e.protocol.Store(int32(opts.Protocol))
 	e.roActive.init()
 	return e
@@ -191,6 +199,7 @@ func (e *Engine) Begin(class engine.Class) (engine.Tx, error) {
 	if class == engine.ReadOnly {
 		return e.beginReadOnly(id, 0), nil
 	}
+	e.stats.BeginsRW.Inc()
 	switch p := e.Protocol(); p {
 	case TwoPhaseLocking:
 		return e.beginTwoPhase(id), nil
@@ -226,35 +235,72 @@ func (e *Engine) BeginReadOnlyAt(sn uint64) (engine.Tx, error) {
 	}
 	e.bootstrapSealed.Store(true)
 	if e.vc.VTNC() < sn {
-		e.recencyWaits.Add(1)
+		e.stats.RecencyWaits.Inc()
 		e.vc.WaitVisible(sn)
 	}
 	return e.beginReadOnly(e.ids.Add(1), sn), nil
 }
 
-// Stats implements engine.Engine.
-func (e *Engine) Stats() map[string]int64 {
-	m := map[string]int64{
-		"commits.ro":      int64(e.commitsRO.Load()),
-		"commits.rw":      int64(e.commitsRW.Load()),
-		"aborts.conflict": int64(e.abortsConflict.Load()),
-		"aborts.deadlock": int64(e.abortsDeadlock.Load()),
-		"aborts.wounded":  int64(e.abortsWounded.Load()),
-		"aborts.user":     int64(e.abortsUser.Load()),
-		"rw.aborts.by_ro": int64(e.abortsByRO.Load()),
-		"ro.blocked":      int64(e.roBlocked.Load()),
-		"ro.recency_wait": int64(e.recencyWaits.Load()),
-		"vc.lag":          int64(e.vc.Lag()),
-		"vc.queue":        int64(e.vc.QueueLen()),
-		"store.waits":     int64(e.store.TotalWaits()),
-	}
+// Obs exposes the engine's observability registry so wrappers (the
+// public API, the adaptive engine) can count events that happen above
+// this layer — Update retries, GC passes — into the same snapshot.
+func (e *Engine) Obs() *obs.Stats { return e.stats }
+
+// Snapshot assembles the full observability snapshot: registry
+// counters, lock-manager and WAL substrate counters, version-control
+// gauges, and storage-shape gauges. Gauges are read in an order that
+// preserves the paper's invariants within one snapshot (vtnc before
+// tnc, commits before begins); the storage walk makes this O(keys), so
+// it is meant for periodic polling, not per-transaction calls.
+func (e *Engine) Snapshot() obs.Snapshot {
+	sn := e.stats.Snapshot()
+	sn.Protocol = e.Protocol().String()
 	if e.locks != nil {
-		m["lock.waits"] = int64(e.locks.Waits())
-		m["lock.deadlocks"] = int64(e.locks.Deadlocks())
-		m["lock.wounds"] = int64(e.locks.Wounds())
-		m["lock.timeouts"] = int64(e.locks.Timeouts())
+		sn.LockWaits = int64(e.locks.Waits())
+		sn.LockDeadlocks = int64(e.locks.Deadlocks())
+		sn.LockWounds = int64(e.locks.Wounds())
+		sn.LockTimeouts = int64(e.locks.Timeouts())
 	}
-	return m
+	// vtnc first, then tnc: both only grow, so vtnc <= tnc-1 holds for
+	// the pair even while commits race the snapshot.
+	vtnc := e.vc.VTNC()
+	tnc := e.vc.TNC()
+	sn.VTNC = vtnc
+	sn.TNC = tnc
+	sn.VisibilityLag = tnc - 1 - vtnc
+	sn.VCQueueLen = e.vc.QueueLen()
+	var keys int
+	var versions int64
+	var maxChain int
+	e.store.Range(func(_ string, o *storage.Object) bool {
+		keys++
+		n := o.VersionCount()
+		versions += int64(n)
+		if n > maxChain {
+			maxChain = n
+		}
+		return true
+	})
+	sn.Keys = keys
+	sn.Versions = versions
+	sn.MaxVersionChain = maxChain
+	if keys > 0 {
+		sn.MeanVersionChain = float64(versions) / float64(keys)
+	}
+	sn.StoreWaits = int64(e.store.TotalWaits())
+	if e.opts.WAL != nil {
+		a, f, b := e.opts.WAL.Counters()
+		sn.WALAppends = int64(a)
+		sn.WALFsyncs = int64(f)
+		sn.WALBytes = int64(b)
+	}
+	return sn
+}
+
+// Stats implements engine.Engine: the snapshot flattened into the
+// legacy counter vocabulary the harness understands.
+func (e *Engine) Stats() map[string]int64 {
+	return e.Snapshot().Map()
 }
 
 // Close implements engine.Engine.

@@ -57,7 +57,7 @@ func (t *occTx) Get(key string) ([]byte, error) {
 	if prev, seen := t.readSet[key]; seen && prev != v.TN {
 		// The object moved under us between two reads; the transaction
 		// can no longer validate, so fail fast.
-		t.e.abortsConflict.Add(1)
+		t.e.stats.AbortsConflict.Inc()
 		t.abortInternal()
 		return nil, engine.ErrConflict
 	}
@@ -103,7 +103,7 @@ func (t *occTx) Commit() error {
 		}
 		if cur != seenTN {
 			e.valMu.Unlock()
-			e.abortsConflict.Add(1)
+			e.stats.AbortsConflict.Inc()
 			e.rec.RecordAbort(t.id)
 			return engine.ErrConflict
 		}
@@ -125,7 +125,7 @@ func (t *occTx) Commit() error {
 
 	e.rec.RecordCommit(t.id, t.tn)
 	e.complete(entry)
-	e.commitsRW.Add(1)
+	e.stats.CommitsRW.Inc()
 	return nil
 }
 
@@ -135,7 +135,7 @@ func (t *occTx) Abort() {
 	if t.done {
 		return
 	}
-	t.e.abortsUser.Add(1)
+	t.e.stats.AbortsUser.Inc()
 	t.abortInternal()
 }
 

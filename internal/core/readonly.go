@@ -20,6 +20,7 @@ type roTx struct {
 }
 
 func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
+	e.stats.BeginsRO.Inc()
 	var sn uint64
 	if pinSN > 0 {
 		// Pinned snapshot (BeginReadOnlyAt): read exactly at position
@@ -91,7 +92,7 @@ func (t *roTx) Commit() error {
 	}
 	t.finish()
 	t.e.rec.RecordCommit(t.id, t.sn)
-	t.e.commitsRO.Add(1)
+	t.e.stats.CommitsRO.Inc()
 	return nil
 }
 
@@ -103,7 +104,7 @@ func (t *roTx) Abort() {
 	}
 	t.finish()
 	t.e.rec.RecordAbort(t.id)
-	t.e.abortsUser.Add(1)
+	t.e.stats.AbortsUser.Inc()
 }
 
 func (t *roTx) finish() {

@@ -85,12 +85,12 @@ func (t *tsoTx) write(key string, value []byte, tombstone bool) error {
 	}
 	o := t.e.store.GetOrCreate(key)
 	if err := o.TOWrite(t.tn, value, tombstone); err != nil {
-		t.e.abortsConflict.Add(1)
+		t.e.stats.AbortsConflict.Inc()
 		if errors.Is(err, storage.ErrConflictRO) {
 			// Structurally unreachable in this engine: read-only
 			// transactions never raise r-ts here. Counted anyway so the
 			// claim is measured, not assumed (experiment E2).
-			t.e.abortsByRO.Add(1)
+			t.e.stats.RWAbortsByRO.Inc()
 		}
 		t.abortInternal()
 		return engine.ErrConflict
@@ -117,7 +117,7 @@ func (t *tsoTx) Commit() error {
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
 	t.e.complete(t.entry)
-	t.e.commitsRW.Add(1)
+	t.e.stats.CommitsRW.Inc()
 	return nil
 }
 
@@ -126,7 +126,7 @@ func (t *tsoTx) Abort() {
 	if t.done {
 		return
 	}
-	t.e.abortsUser.Add(1)
+	t.e.stats.AbortsUser.Inc()
 	t.abortInternal()
 }
 

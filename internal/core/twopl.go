@@ -117,16 +117,18 @@ func (t *twoPhaseTx) acquire(key string, mode lock.Mode) error {
 	var mapped error
 	switch {
 	case errors.Is(err, lock.ErrDeadlock):
-		t.e.abortsDeadlock.Add(1)
+		t.e.stats.AbortsDeadlock.Inc()
 		mapped = engine.ErrDeadlock
 	case errors.Is(err, lock.ErrWounded):
-		t.e.abortsWounded.Add(1)
+		t.e.stats.AbortsWounded.Inc()
 		mapped = engine.ErrWounded
 	case errors.Is(err, lock.ErrTimeout):
-		t.e.abortsDeadlock.Add(1)
+		// Counted as its own cause; still surfaced as ErrDeadlock because
+		// a timeout is the timeout policy's deadlock presumption.
+		t.e.stats.AbortsTimeout.Inc()
 		mapped = fmt.Errorf("%w (lock wait timeout)", engine.ErrDeadlock)
 	default:
-		t.e.abortsConflict.Add(1)
+		t.e.stats.AbortsConflict.Inc()
 		mapped = engine.ErrConflict
 	}
 	t.abortInternal()
@@ -143,7 +145,7 @@ func (t *twoPhaseTx) Commit() error {
 	// Under wound-wait a running transaction may have been wounded while
 	// it held locks; it must not commit.
 	if t.e.locks.Wounded(t.id) {
-		t.e.abortsWounded.Add(1)
+		t.e.stats.AbortsWounded.Inc()
 		t.abortInternal()
 		return engine.ErrWounded
 	}
@@ -170,7 +172,7 @@ func (t *twoPhaseTx) Commit() error {
 
 	t.e.locks.ReleaseAll(t.id)
 	t.e.complete(entry)
-	t.e.commitsRW.Add(1)
+	t.e.stats.CommitsRW.Inc()
 	return nil
 }
 
@@ -179,7 +181,7 @@ func (t *twoPhaseTx) Abort() {
 	if t.done {
 		return
 	}
-	t.e.abortsUser.Add(1)
+	t.e.stats.AbortsUser.Inc()
 	t.abortInternal()
 }
 

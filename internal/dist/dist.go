@@ -44,6 +44,7 @@ import (
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lock"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 	"mvdb/internal/vc"
 	"mvdb/internal/wal"
@@ -176,6 +177,10 @@ type Options struct {
 	// Recorder receives history events (global transaction ids and
 	// globally unique version numbers), for the MVSG checker.
 	Recorder engine.Recorder
+	// Trace, when non-nil, receives coordinator-side
+	// begin/read/write/commit/abort events (alongside any Recorder). Nil
+	// disables tracing at zero cost.
+	Trace *obs.Tracer
 	// Shards per site store.
 	Shards int
 }
@@ -205,10 +210,12 @@ func New(opts Options) (*Cluster, error) {
 	if opts.LockTimeout <= 0 {
 		opts.LockTimeout = 50 * time.Millisecond
 	}
-	c := &Cluster{opts: opts, bus: NewBusJitter(opts.Latency, opts.Jitter), rec: opts.Recorder}
-	if c.rec == nil {
-		c.rec = engine.NopRecorder{}
+	c := &Cluster{opts: opts, bus: NewBusJitter(opts.Latency, opts.Jitter)}
+	var tracerRec engine.Recorder
+	if opts.Trace != nil {
+		tracerRec = obs.Recorder{T: opts.Trace}
 	}
+	c.rec = engine.Multi(opts.Recorder, tracerRec)
 	if c.opts.Partition == nil {
 		n := opts.Sites
 		c.opts.Partition = func(key string) int {
@@ -286,7 +293,10 @@ func (c *Cluster) Bootstrap(data map[string][]byte) error {
 	return nil
 }
 
-// Stats returns cluster counters.
+// Stats returns cluster counters, including the aggregate Section 6
+// version-control gauges across sites: total visibility lag and queue
+// depth, and the worst single-site lag (the site a fresh read-only
+// transaction would have to wait for).
 func (c *Cluster) Stats() map[string]int64 {
 	m := map[string]int64{
 		"commits.ro":   int64(c.commitsRO.Load()),
@@ -295,11 +305,20 @@ func (c *Cluster) Stats() map[string]int64 {
 		"ro.waits":     int64(c.roWaits.Load()),
 		"bus.messages": int64(c.bus.Messages()),
 	}
-	var fillers int64
+	var fillers, lagSum, lagMax, queue int64
 	for _, s := range c.sites {
 		fillers += int64(s.Fillers())
+		lag := int64(s.vc.Lag())
+		lagSum += lag
+		if lag > lagMax {
+			lagMax = lag
+		}
+		queue += int64(s.vc.QueueLen())
 	}
 	m["ro.fillers"] = fillers
+	m["vc.lag"] = lagSum
+	m["vc.lag.max_site"] = lagMax
+	m["vc.queue"] = queue
 	return m
 }
 

@@ -130,6 +130,68 @@ type Recorder interface {
 	RecordAbort(txID uint64)
 }
 
+// Multi combines recorders: every record call fans out to each non-nil,
+// non-Nop recorder in order. It collapses to NopRecorder or the single
+// remaining recorder when it can, so engines may attach an optional
+// tracer unconditionally without paying for indirection when it is the
+// only (or no) observer.
+func Multi(rs ...Recorder) Recorder {
+	var active []Recorder
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if _, nop := r.(NopRecorder); nop {
+			continue
+		}
+		active = append(active, r)
+	}
+	switch len(active) {
+	case 0:
+		return NopRecorder{}
+	case 1:
+		return active[0]
+	}
+	return multiRecorder(active)
+}
+
+type multiRecorder []Recorder
+
+// RecordBegin implements Recorder.
+func (m multiRecorder) RecordBegin(txID uint64, class Class) {
+	for _, r := range m {
+		r.RecordBegin(txID, class)
+	}
+}
+
+// RecordRead implements Recorder.
+func (m multiRecorder) RecordRead(txID uint64, key string, versionTN uint64) {
+	for _, r := range m {
+		r.RecordRead(txID, key, versionTN)
+	}
+}
+
+// RecordWrite implements Recorder.
+func (m multiRecorder) RecordWrite(txID uint64, key string, versionTN uint64) {
+	for _, r := range m {
+		r.RecordWrite(txID, key, versionTN)
+	}
+}
+
+// RecordCommit implements Recorder.
+func (m multiRecorder) RecordCommit(txID, tn uint64) {
+	for _, r := range m {
+		r.RecordCommit(txID, tn)
+	}
+}
+
+// RecordAbort implements Recorder.
+func (m multiRecorder) RecordAbort(txID uint64) {
+	for _, r := range m {
+		r.RecordAbort(txID)
+	}
+}
+
 // NopRecorder is a Recorder that records nothing.
 type NopRecorder struct{}
 

@@ -46,6 +46,18 @@ type Collector struct {
 
 	pruned atomic.Uint64
 	passes atomic.Uint64
+
+	// onPass observes completed collection passes; see SetOnPass.
+	onPass func(reclaimed int, watermark uint64, elapsed time.Duration)
+}
+
+// SetOnPass installs fn, invoked after every collection pass with the
+// number of versions reclaimed, the watermark used, and the pass
+// duration — the observability hook that feeds GC counters and trace
+// events. Set it before Start; it runs on the collector goroutine (or
+// the caller of Collect).
+func (c *Collector) SetOnPass(fn func(reclaimed int, watermark uint64, elapsed time.Duration)) {
+	c.onPass = fn
 }
 
 // New creates a collector. interval is the background period for Start
@@ -73,6 +85,7 @@ func (c *Collector) Watermark() uint64 {
 // Collect performs one pruning pass and returns the number of versions
 // discarded.
 func (c *Collector) Collect() int {
+	start := time.Now()
 	w := c.Watermark()
 	n := 0
 	c.src.Store().Range(func(_ string, o *storage.Object) bool {
@@ -81,6 +94,9 @@ func (c *Collector) Collect() int {
 	})
 	c.pruned.Add(uint64(n))
 	c.passes.Add(1)
+	if c.onPass != nil {
+		c.onPass(n, w, time.Since(start))
+	}
 	return n
 }
 

@@ -102,6 +102,10 @@ type Manager struct {
 	deadlocks atomic.Uint64
 	wounds    atomic.Uint64
 	timeouts  atomic.Uint64
+
+	// onWait observes every blocked request when its wait ends; see
+	// SetWaitObserver.
+	onWait func(txID uint64, key string, wait time.Duration)
 }
 
 // NewManager creates a manager with the given policy. timeout applies only
@@ -128,6 +132,15 @@ func (m *Manager) Begin(txID, age uint64) {
 		panic(fmt.Sprintf("lock: duplicate Begin(%d)", txID))
 	}
 	m.txs[txID] = &txState{id: txID, age: age, held: make(map[string]Mode)}
+}
+
+// SetWaitObserver installs fn, called once per blocked request when its
+// wait ends — granted or failed — with the requester, the key, and the
+// time spent blocked. The callback runs outside the manager's mutex.
+// It must be installed before the manager sees concurrent use (engines
+// set it at construction).
+func (m *Manager) SetWaitObserver(fn func(txID uint64, key string, wait time.Duration)) {
+	m.onWait = fn
 }
 
 // Acquire blocks until the lock is granted or the transaction becomes a
@@ -189,6 +202,17 @@ func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
 	}
 	m.mu.Unlock()
 
+	waitStart := time.Now()
+	err := m.await(ls, req)
+	if m.onWait != nil {
+		m.onWait(txID, key, time.Since(waitStart))
+	}
+	return err
+}
+
+// await blocks on a queued request until it is granted or fails under
+// the manager's policy.
+func (m *Manager) await(ls *lockState, req *request) error {
 	if m.policy == TimeoutPolicy {
 		timer := time.NewTimer(m.timeout)
 		defer timer.Stop()
@@ -205,7 +229,7 @@ func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
 			default:
 			}
 			m.removeRequestLocked(ls, req)
-			tx.waiting = nil
+			req.tx.waiting = nil
 			m.timeouts.Add(1)
 			m.mu.Unlock()
 			return ErrTimeout

@@ -5,9 +5,11 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"text/tabwriter"
@@ -96,16 +98,35 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest recorded sample.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
-// Percentile returns an upper bound on the p-th percentile (0 < p <= 100).
-func (h *Histogram) Percentile(p float64) int64 {
-	n := h.total.Load()
-	if n == 0 {
-		return 0
+// rankOf maps a percentile to its 1-based sample rank among n samples,
+// using the nearest-rank definition ceil(p/100 * n). Out-of-range
+// percentiles are clamped: p <= 0 selects the smallest sample (rank 1)
+// and p > 100 the largest (rank n).
+func rankOf(p float64, n uint64) uint64 {
+	if p <= 0 {
+		return 1
+	}
+	if p > 100 {
+		p = 100
 	}
 	rank := uint64(math.Ceil(p / 100 * float64(n)))
 	if rank == 0 {
 		rank = 1
 	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// Percentile returns an upper bound on the p-th percentile. p is
+// clamped to (0, 100] as described at rankOf.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := rankOf(p, n)
 	var seen uint64
 	for i := range h.counts {
 		seen += h.counts[i].Load()
@@ -116,23 +137,68 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max.Load()
 }
 
-// Summary is an immutable snapshot of a histogram.
-type Summary struct {
-	Count            uint64
-	Mean             float64
-	P50, P90, P99    int64
-	Max              int64
-	TotalNanoseconds int64
+// Quantiles returns upper bounds for every requested percentile,
+// aligned with ps, walking the buckets once regardless of how many
+// percentiles are asked for (snapshots ask for several at a time).
+// Each percentile is clamped as described at rankOf.
+func (h *Histogram) Quantiles(ps []float64) []int64 {
+	out := make([]int64, len(ps))
+	n := h.total.Load()
+	if n == 0 || len(ps) == 0 {
+		return out
+	}
+	// Resolve ranks in ascending order so one pass over the buckets
+	// answers all of them; order tracks each rank's slot in ps.
+	order := make([]int, len(ps))
+	ranks := make([]uint64, len(ps))
+	for i, p := range ps {
+		order[i] = i
+		ranks[i] = rankOf(p, n)
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	var seen uint64
+	next := 0
+	for i := range h.counts {
+		if next >= len(order) {
+			break
+		}
+		seen += h.counts[i].Load()
+		for next < len(order) && seen >= ranks[order[next]] {
+			out[order[next]] = bucketUpper(i)
+			next++
+		}
+	}
+	// Samples recorded concurrently with the walk can leave trailing
+	// ranks unresolved; they are bounded by the recorded maximum.
+	for ; next < len(order); next++ {
+		out[order[next]] = h.max.Load()
+	}
+	return out
 }
 
-// Summarize snapshots the histogram.
+// Summary is an immutable snapshot of a histogram. All durations are
+// nanoseconds; the JSON field names say so because the same document is
+// served by the /debug/mvdb endpoint and mirrored into harness output.
+type Summary struct {
+	Count            uint64  `json:"count"`
+	Mean             float64 `json:"mean_ns"`
+	P50              int64   `json:"p50_ns"`
+	P90              int64   `json:"p90_ns"`
+	P99              int64   `json:"p99_ns"`
+	Max              int64   `json:"max_ns"`
+	TotalNanoseconds int64   `json:"total_ns"`
+}
+
+// Summarize snapshots the histogram (one bucket walk for all three
+// percentiles).
 func (h *Histogram) Summarize() Summary {
+	qs := h.Quantiles([]float64{50, 90, 99})
 	return Summary{
 		Count:            h.Count(),
 		Mean:             h.Mean(),
-		P50:              h.Percentile(50),
-		P90:              h.Percentile(90),
-		P99:              h.Percentile(99),
+		P50:              qs[0],
+		P90:              qs[1],
+		P99:              qs[2],
 		Max:              h.Max(),
 		TotalNanoseconds: h.sum.Load(),
 	}
@@ -142,6 +208,17 @@ func (h *Histogram) Summarize() Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
 		s.Count, Dur(int64(s.Mean)), Dur(s.P50), Dur(s.P90), Dur(s.P99), Dur(s.Max))
+}
+
+// MarshalJSON emits the tagged nanosecond fields plus a pre-rendered
+// human-readable form, so every JSON consumer (harness reports, the
+// /debug/mvdb endpoint, mvinspect -live) shares one serialization.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	type plain Summary // shed the method to avoid recursion
+	return json.Marshal(struct {
+		plain
+		Human string `json:"human"`
+	}{plain(s), s.String()})
 }
 
 // Dur renders nanoseconds compactly.
@@ -161,9 +238,9 @@ func Dur(ns int64) string {
 // Table renders rows as an aligned plain-text table (the output format of
 // cmd/mvbench, mirrored into EXPERIMENTS.md).
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row of cells.

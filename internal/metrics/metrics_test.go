@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math/rand"
 	"sort"
 	"strings"
@@ -172,5 +173,94 @@ func TestRecordNegativeClampsToZero(t *testing.T) {
 	h.Record(-5)
 	if got := h.Percentile(100); got != 0 {
 		t.Fatalf("p100 = %d, want 0", got)
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v * 1000)
+	}
+	if got, min := h.Percentile(-5), h.Percentile(0.0001); got != min {
+		t.Errorf("p<=0 should clamp to the smallest sample: %d vs %d", got, min)
+	}
+	if got, max := h.Percentile(200), h.Percentile(100); got != max {
+		t.Errorf("p>100 should clamp to the largest sample: %d vs %d", got, max)
+	}
+	if h.Percentile(100) < 100000 {
+		t.Errorf("p100 = %d, want >= 100000", h.Percentile(100))
+	}
+	// Nearest-rank: p50 of 100 samples is the 50th sample (50000), not
+	// the 51st bucket boundary's neighborhood above it by a full step.
+	if p50 := h.Percentile(50); p50 < 50000 || p50 > 50000*1.07 {
+		t.Errorf("p50 = %d, want ~50000 (nearest-rank, <=7%% bucket error)", p50)
+	}
+}
+
+func TestQuantilesMatchPercentile(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		h.Record(rng.Int63n(10_000_000))
+	}
+	ps := []float64{99, 1, 50, 90, 25, 99.9, 0, 150} // deliberately unsorted, with clamps
+	qs := h.Quantiles(ps)
+	if len(qs) != len(ps) {
+		t.Fatalf("Quantiles returned %d values for %d percentiles", len(qs), len(ps))
+	}
+	for i, p := range ps {
+		if want := h.Percentile(p); qs[i] != want {
+			t.Errorf("Quantiles[%d] (p=%v) = %d, want Percentile = %d", i, p, qs[i], want)
+		}
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	h := NewHistogram()
+	qs := h.Quantiles([]float64{50, 99})
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty histogram quantiles = %v", qs)
+	}
+	if got := h.Quantiles(nil); len(got) != 0 {
+		t.Fatalf("nil percentiles should yield empty result, got %v", got)
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v * 1000)
+	}
+	b, err := json.Marshal(h.Summarize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns", "total_ns", "human"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("summary JSON missing %q: %s", key, b)
+		}
+	}
+	if m["count"].(float64) != 1000 {
+		t.Errorf("count = %v", m["count"])
+	}
+	if !strings.Contains(m["human"].(string), "n=1000") {
+		t.Errorf("human = %v", m["human"])
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := Table{Title: "t", Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"t","headers":["a","b"],"rows":[["1","2"]]}`
+	if string(b) != want {
+		t.Fatalf("table JSON = %s, want %s", b, want)
 	}
 }

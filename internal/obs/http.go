@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Payload is the JSON document served at /debug/mvdb: one stats
+// snapshot plus the recent event trace.
+type Payload struct {
+	Stats Snapshot `json:"stats"`
+	Trace []Event  `json:"trace,omitempty"`
+}
+
+// DebugServer serves engine observability over HTTP. It is created by
+// Serve and stopped with Close.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/debug/mvdb  — Payload as JSON (stats snapshot + recent trace)
+//	/debug/vars  — the standard expvar registry, which includes an
+//	               "mvdb" variable backed by the same snapshot function
+//
+// addr may use port 0 to let the OS pick a free port; Addr reports the
+// bound address. snap must be safe for concurrent use; tracer may be
+// nil (the trace field is then omitted).
+func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/mvdb", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Payload{Stats: snap(), Trace: tracer.Dump()})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	publishExpvar(snap)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// expvar's registry is process-global and Publish panics on duplicate
+// names, so the "mvdb" variable is published once and reads through
+// whichever snapshot function was installed most recently (the last
+// database opened with a debug address).
+var (
+	pubOnce sync.Once
+	pubSnap atomic.Value // func() Snapshot
+)
+
+func publishExpvar(snap func() Snapshot) {
+	pubSnap.Store(snap)
+	pubOnce.Do(func() {
+		expvar.Publish("mvdb", expvar.Func(func() any {
+			f, _ := pubSnap.Load().(func() Snapshot)
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	})
+}

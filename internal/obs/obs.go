@@ -1,0 +1,225 @@
+// Package obs is the engine-wide observability layer: a lock-free
+// registry of counters and histograms written by every subsystem, an
+// internally consistent Snapshot of that registry plus the
+// version-control and storage gauges (the payload of the public
+// db.Stats() API and the /debug/mvdb endpoint), a bounded ring-buffer
+// event tracer fed through a production engine.Recorder, and the HTTP
+// debug server that exposes all of it.
+//
+// The paper's whole argument is about where synchronization cost lives:
+// the version control module's visibility lag (tnc - vtnc, Section 6),
+// the concurrency-control protocol's abort and block behavior, and the
+// read-only fast path that never touches either. This package makes
+// those quantities observable at runtime instead of only inside the
+// benchmark harness.
+//
+// Everything on the record path is a single atomic add (Counter) or a
+// lock-free histogram sample, so instrumentation stays on even in
+// production; only the event tracer is optional, and a nil *Tracer
+// reduces every trace call to a pointer test.
+package obs
+
+import (
+	"sync/atomic"
+
+	"mvdb/internal/metrics"
+)
+
+// Counter is a lock-free monotonically increasing counter. The zero
+// value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Stats is the live counter registry, one per engine. Subsystems write
+// to it directly (each write is one atomic add); Snapshot reads it in
+// an order that keeps derived invariants true (see Snapshot).
+type Stats struct {
+	// Transaction lifecycle, split by class — the paper's central
+	// distinction. Begin counters are incremented before any commit or
+	// abort of the same transaction can be counted.
+	BeginsRO  Counter
+	BeginsRW  Counter
+	CommitsRO Counter
+	CommitsRW Counter
+	// Retries counts automatic re-executions after retryable aborts
+	// (the Update loop at the public API).
+	Retries Counter
+
+	// Aborts by cause. Conflict covers timestamp-ordering rejections
+	// and failed optimistic validation; Deadlock, Wounded and Timeout
+	// are the three 2PL deadlock-policy outcomes; User is an explicit
+	// Abort call.
+	AbortsConflict Counter
+	AbortsDeadlock Counter
+	AbortsWounded  Counter
+	AbortsTimeout  Counter
+	AbortsUser     Counter
+
+	// Paper-claim counters: read-write aborts attributable to read-only
+	// transactions, read-only reads that blocked (both structurally
+	// zero under the paper's engines — counted so the claim is measured,
+	// not assumed), and Section 6 recency waits.
+	RWAbortsByRO Counter
+	ROBlocked    Counter
+	RecencyWaits Counter
+
+	// LockWaitNanos records how long each blocked lock request waited
+	// (granted or not); the lock manager's wait observer feeds it.
+	LockWaitNanos *metrics.Histogram
+
+	// Garbage collection: passes run and versions reclaimed.
+	GCPasses    Counter
+	GCReclaimed Counter
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{LockWaitNanos: metrics.NewHistogram()}
+}
+
+// Snapshot is a point-in-time view of the registry plus the gauges the
+// engine fills in (version control counters, storage shape, lock and
+// WAL substrate counters). It is the JSON document served at
+// /debug/mvdb and the value returned by the public db.Stats().
+type Snapshot struct {
+	// Protocol is the concurrency control in force when the snapshot
+	// was taken (it changes only under adaptive CC).
+	Protocol string `json:"protocol,omitempty"`
+
+	// Commit counters are read before begin counters, so within one
+	// snapshot CommitsRO <= BeginsRO and CommitsRW <= BeginsRW even
+	// while transactions are in flight.
+	CommitsRO int64 `json:"commits_ro"`
+	CommitsRW int64 `json:"commits_rw"`
+	BeginsRO  int64 `json:"begins_ro"`
+	BeginsRW  int64 `json:"begins_rw"`
+	Retries   int64 `json:"retries"`
+
+	AbortsConflict int64 `json:"aborts_conflict"`
+	AbortsDeadlock int64 `json:"aborts_deadlock"`
+	AbortsWounded  int64 `json:"aborts_wounded"`
+	AbortsTimeout  int64 `json:"aborts_timeout"`
+	AbortsUser     int64 `json:"aborts_user"`
+	RWAbortsByRO   int64 `json:"rw_aborts_by_ro"`
+	ROBlocked      int64 `json:"ro_blocked"`
+	RecencyWaits   int64 `json:"ro_recency_waits"`
+
+	// Lock substrate. LockWaits counts requests that ever blocked
+	// (including those still blocked); LockWait summarizes completed
+	// waits.
+	LockWaits     int64           `json:"lock_waits"`
+	LockDeadlocks int64           `json:"lock_deadlocks"`
+	LockWounds    int64           `json:"lock_wounds"`
+	LockTimeouts  int64           `json:"lock_timeouts"`
+	LockWait      metrics.Summary `json:"lock_wait"`
+
+	// Write-ahead log volume (zero when durability is off).
+	WALAppends int64 `json:"wal_appends"`
+	WALFsyncs  int64 `json:"wal_fsyncs"`
+	WALBytes   int64 `json:"wal_bytes"`
+
+	GCPasses    int64 `json:"gc_passes"`
+	GCReclaimed int64 `json:"gc_reclaimed"`
+
+	// Version control gauges (paper Section 6). VTNC is read before
+	// TNC, and both counters only grow, so VTNC < TNC holds in every
+	// snapshot; VisibilityLag = TNC - 1 - VTNC is the number of
+	// assigned serialization positions not yet visible, and VCQueueLen
+	// is the depth of VCQueue.
+	TNC           uint64 `json:"tnc"`
+	VTNC          uint64 `json:"vtnc"`
+	VisibilityLag uint64 `json:"visibility_lag"`
+	VCQueueLen    int    `json:"vc_queue_len"`
+
+	// Storage shape: live keys, total committed versions, and the
+	// longest/mean version chain (what garbage collection keeps short).
+	Keys             int     `json:"keys"`
+	Versions         int64   `json:"versions"`
+	MaxVersionChain  int     `json:"max_version_chain"`
+	MeanVersionChain float64 `json:"mean_version_chain"`
+	StoreWaits       int64   `json:"store_waits"`
+
+	// Extra carries engine-specific counters with no typed field
+	// (adaptive switches, distributed bus traffic, ...).
+	Extra map[string]int64 `json:"extra,omitempty"`
+}
+
+// Snapshot reads the registry. Reads are ordered so that a snapshot
+// taken mid-commit never reports more commits than begins: the commit
+// counters are loaded first, and every transaction increments its begin
+// counter before it can increment a commit counter.
+func (s *Stats) Snapshot() Snapshot {
+	var sn Snapshot
+	sn.CommitsRO = s.CommitsRO.Load()
+	sn.CommitsRW = s.CommitsRW.Load()
+	sn.BeginsRO = s.BeginsRO.Load()
+	sn.BeginsRW = s.BeginsRW.Load()
+	sn.Retries = s.Retries.Load()
+	sn.AbortsConflict = s.AbortsConflict.Load()
+	sn.AbortsDeadlock = s.AbortsDeadlock.Load()
+	sn.AbortsWounded = s.AbortsWounded.Load()
+	sn.AbortsTimeout = s.AbortsTimeout.Load()
+	sn.AbortsUser = s.AbortsUser.Load()
+	sn.RWAbortsByRO = s.RWAbortsByRO.Load()
+	sn.ROBlocked = s.ROBlocked.Load()
+	sn.RecencyWaits = s.RecencyWaits.Load()
+	sn.LockWait = s.LockWaitNanos.Summarize()
+	sn.GCPasses = s.GCPasses.Load()
+	sn.GCReclaimed = s.GCReclaimed.Load()
+	return sn
+}
+
+// AbortsTotal sums every abort cause, user aborts included.
+func (sn Snapshot) AbortsTotal() int64 {
+	return sn.AbortsConflict + sn.AbortsDeadlock + sn.AbortsWounded +
+		sn.AbortsTimeout + sn.AbortsUser
+}
+
+// Map flattens the snapshot into the legacy flat counter vocabulary
+// used by engine.Engine.Stats and the experiment harness, merging Extra
+// last so engine-specific keys win.
+func (sn Snapshot) Map() map[string]int64 {
+	m := map[string]int64{
+		"commits.ro":      sn.CommitsRO,
+		"commits.rw":      sn.CommitsRW,
+		"begins.ro":       sn.BeginsRO,
+		"begins.rw":       sn.BeginsRW,
+		"retries":         sn.Retries,
+		"aborts.conflict": sn.AbortsConflict,
+		"aborts.deadlock": sn.AbortsDeadlock,
+		"aborts.wounded":  sn.AbortsWounded,
+		"aborts.timeout":  sn.AbortsTimeout,
+		"aborts.user":     sn.AbortsUser,
+		"rw.aborts.by_ro": sn.RWAbortsByRO,
+		"ro.blocked":      sn.ROBlocked,
+		"ro.recency_wait": sn.RecencyWaits,
+		"lock.waits":      sn.LockWaits,
+		"lock.deadlocks":  sn.LockDeadlocks,
+		"lock.wounds":     sn.LockWounds,
+		"lock.timeouts":   sn.LockTimeouts,
+		"wal.appends":     sn.WALAppends,
+		"wal.fsyncs":      sn.WALFsyncs,
+		"wal.bytes":       sn.WALBytes,
+		"gc.passes":       sn.GCPasses,
+		"gc.pruned":       sn.GCReclaimed,
+		"vc.tnc":          int64(sn.TNC),
+		"vc.vtnc":         int64(sn.VTNC),
+		"vc.lag":          int64(sn.VisibilityLag),
+		"vc.queue":        int64(sn.VCQueueLen),
+		"store.keys":      int64(sn.Keys),
+		"store.versions":  sn.Versions,
+		"store.waits":     sn.StoreWaits,
+	}
+	for k, v := range sn.Extra {
+		m[k] = v
+	}
+	return m
+}

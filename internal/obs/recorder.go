@@ -1,0 +1,36 @@
+package obs
+
+import "mvdb/internal/engine"
+
+// Recorder is the production engine.Recorder: it forwards the
+// transaction lifecycle into a Tracer so a live engine can be asked
+// "what happened recently" without a test harness attached. Engines
+// combine it with any user-supplied recorder via engine.Multi. With a
+// nil tracer every call is a no-op, so the type is safe to attach
+// unconditionally.
+type Recorder struct{ T *Tracer }
+
+// RecordBegin implements engine.Recorder; the class travels in Key.
+func (r Recorder) RecordBegin(txID uint64, class engine.Class) {
+	r.T.Record(Event{Type: EvBegin, Tx: txID, Key: class.String()})
+}
+
+// RecordRead implements engine.Recorder.
+func (r Recorder) RecordRead(txID uint64, key string, versionTN uint64) {
+	r.T.Record(Event{Type: EvRead, Tx: txID, Key: key, TN: versionTN})
+}
+
+// RecordWrite implements engine.Recorder.
+func (r Recorder) RecordWrite(txID uint64, key string, versionTN uint64) {
+	r.T.Record(Event{Type: EvWrite, Tx: txID, Key: key, TN: versionTN})
+}
+
+// RecordCommit implements engine.Recorder.
+func (r Recorder) RecordCommit(txID, tn uint64) {
+	r.T.Record(Event{Type: EvCommit, Tx: txID, TN: tn})
+}
+
+// RecordAbort implements engine.Recorder.
+func (r Recorder) RecordAbort(txID uint64) {
+	r.T.Record(Event{Type: EvAbort, Tx: txID})
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Write is one key's update inside a commit record.
@@ -66,6 +67,17 @@ type Writer struct {
 	bw     *bufio.Writer
 	policy SyncPolicy
 	closed bool
+
+	appends atomic.Uint64
+	fsyncs  atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Counters reports lifetime log volume: records appended, fsyncs
+// issued, and bytes written (record headers included). Safe to call
+// concurrently with Append.
+func (w *Writer) Counters() (appends, fsyncs, bytes uint64) {
+	return w.appends.Load(), w.fsyncs.Load(), w.bytes.Load()
 }
 
 // Create opens (or truncates) a log file for writing.
@@ -116,6 +128,8 @@ func (w *Writer) Append(r Record) error {
 	if _, err := w.bw.Write(payload); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	w.appends.Add(1)
+	w.bytes.Add(uint64(len(hdr) + len(payload)))
 	if w.policy == SyncEveryCommit {
 		if err := w.bw.Flush(); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
@@ -123,6 +137,7 @@ func (w *Writer) Append(r Record) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		w.fsyncs.Add(1)
 	}
 	return nil
 }
@@ -134,7 +149,11 @@ func (w *Writer) Flush() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	return nil
 }
 
 // Close flushes and closes the log.
@@ -153,6 +172,7 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return err
 	}
+	w.fsyncs.Add(1)
 	return w.f.Close()
 }
 

@@ -41,6 +41,7 @@ import (
 	"mvdb/internal/engine"
 	"mvdb/internal/gc"
 	"mvdb/internal/lock"
+	"mvdb/internal/obs"
 	"mvdb/internal/wal"
 )
 
@@ -143,7 +144,32 @@ type Options struct {
 	// never affects read-only transactions. (The kind of experimentation
 	// the paper's modularity enables, Section 1.)
 	AdaptiveCC bool
+	// DebugAddr, when non-empty, serves live observability over HTTP on
+	// that address (e.g. "localhost:6060" or ":0" for an ephemeral port;
+	// DebugAddr() reports the bound address): GET /debug/mvdb returns the
+	// full Stats snapshot plus the recent event trace as JSON, and
+	// /debug/vars is the standard expvar endpoint. Setting DebugAddr also
+	// enables event tracing (see TraceEvents). Empty — the default —
+	// starts no listener and allocates no tracer.
+	DebugAddr string
+	// TraceEvents enables the in-memory event tracer with a ring buffer
+	// of the given capacity (rounded up to a power of two): every
+	// begin/read/write/commit/abort/lock-wait/gc event overwrites the
+	// oldest. Zero disables tracing unless DebugAddr is set, in which
+	// case a default-sized ring (obs.DefaultTraceEvents) is used.
+	TraceEvents int
 }
+
+// Stats is the typed observability snapshot returned by DB.Stats: every
+// lifecycle counter (commits and begins split by class, aborts by
+// cause, retries), the lock, WAL and GC substrate counters, and the
+// paper's version-control gauges (tnc, vtnc, visibility lag, VCQueue
+// depth). Map() flattens it to the legacy flat counter vocabulary.
+type Stats = obs.Snapshot
+
+// TraceEvent is one entry of the event trace ring (see
+// Options.TraceEvents and DB.Trace).
+type TraceEvent = obs.Event
 
 // DB is an open database.
 type DB struct {
@@ -152,6 +178,8 @@ type DB struct {
 	ad        *adaptive.Engine // non-nil when AdaptiveCC
 	collector *gc.Collector
 	log       *wal.Writer
+	tracer    *obs.Tracer      // nil unless DebugAddr/TraceEvents
+	dbg       *obs.DebugServer // nil unless DebugAddr
 	walPath   string
 	retries   int
 	closed    bool
@@ -160,12 +188,22 @@ type DB struct {
 // Open creates (or, when Options.WALPath names an existing log, recovers)
 // a database.
 func Open(opts Options) (*DB, error) {
+	// Tracing is allocated only when asked for: with both DebugAddr and
+	// TraceEvents zero the tracer stays nil and every trace call in the
+	// engine reduces to a nil test.
+	var tracer *obs.Tracer
+	if opts.TraceEvents > 0 {
+		tracer = obs.NewTracer(opts.TraceEvents)
+	} else if opts.DebugAddr != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceEvents)
+	}
 	coreOpts := core.Options{
 		Protocol:      coreProtocol(opts.Protocol),
 		LockPolicy:    lockPolicy(opts.DeadlockPolicy),
 		LockTimeout:   opts.LockTimeout,
 		Shards:        opts.Shards,
 		TrackReadOnly: opts.GCInterval > 0,
+		Trace:         tracer,
 	}
 	retries := opts.MaxUpdateRetries
 	if retries <= 0 {
@@ -200,15 +238,34 @@ func Open(opts Options) (*DB, error) {
 		eng = core.New(coreOpts)
 	}
 
-	db := &DB{eng: eng, rw: eng, log: log, walPath: opts.WALPath, retries: retries}
+	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
 		eng.SetProtocol(core.Optimistic)
 		db.ad = adaptive.Wrap(eng, adaptive.Options{})
 		db.rw = db.ad
 	}
+	// The collector always exists (CollectGarbage works without background
+	// GC); its pass observer feeds the GC counters and trace events. Only
+	// a positive GCInterval starts the background loop.
+	db.collector = gc.New(eng, opts.GCInterval)
+	db.collector.SetOnPass(func(reclaimed int, watermark uint64, elapsed time.Duration) {
+		st := eng.Obs()
+		st.GCPasses.Inc()
+		st.GCReclaimed.Add(int64(reclaimed))
+		tracer.Record(obs.Event{
+			Type: obs.EvGC, TN: watermark, N: int64(reclaimed), Dur: elapsed.Nanoseconds(),
+		})
+	})
 	if opts.GCInterval > 0 {
-		db.collector = gc.New(eng, opts.GCInterval)
 		db.collector.Start()
+	}
+	if opts.DebugAddr != "" {
+		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("mvdb: debug server: %w", err)
+		}
+		db.dbg = dbg
 	}
 	return db, nil
 }
@@ -219,6 +276,9 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	if db.dbg != nil {
+		db.dbg.Close()
+	}
 	if db.collector != nil {
 		db.collector.Stop()
 	}
@@ -318,6 +378,7 @@ func (db *DB) Update(fn func(*Tx) error) error {
 		if err := fn(tx); err != nil {
 			tx.Abort()
 			if IsRetryable(err) {
+				db.eng.Obs().Retries.Inc()
 				last = err
 				continue
 			}
@@ -330,34 +391,47 @@ func (db *DB) Update(fn func(*Tx) error) error {
 		if !IsRetryable(err) {
 			return err
 		}
+		db.eng.Obs().Retries.Inc()
 		last = err
 	}
 	return fmt.Errorf("mvdb: update retries exhausted: %w", last)
 }
 
-// Stats returns a snapshot of engine counters (see engine.Engine.Stats
-// for the key vocabulary), plus garbage collection totals when enabled.
-func (db *DB) Stats() map[string]int64 {
-	m := db.eng.Stats()
+// Stats returns a point-in-time observability snapshot: transaction
+// lifecycle counters by class and abort cause, lock/WAL/GC substrate
+// counters, and the paper's version-control gauges (TNC, VTNC,
+// VisibilityLag, VCQueueLen). The snapshot is internally consistent —
+// commits never exceed begins, VTNC < TNC — even while transactions run.
+// Use Stats().Map() where the legacy flat counter map is needed.
+func (db *DB) Stats() Stats {
+	sn := db.eng.Snapshot()
 	if db.ad != nil {
-		m["adaptive.switches"] = int64(db.ad.Switches())
+		sn.Extra = map[string]int64{"adaptive.switches": int64(db.ad.Switches())}
 	}
-	if db.collector != nil {
-		m["gc.pruned"] = int64(db.collector.Pruned())
-		m["gc.passes"] = int64(db.collector.Passes())
+	return sn
+}
+
+// Trace returns the retained event trace in order (oldest first), or nil
+// when tracing is disabled. The ring holds the most recent
+// Options.TraceEvents events; older ones have been overwritten.
+func (db *DB) Trace() []TraceEvent { return db.tracer.Dump() }
+
+// DebugAddr reports the bound address of the debug HTTP server ("" when
+// Options.DebugAddr was empty). With Options.DebugAddr ":0" this is how
+// the ephemeral port is discovered.
+func (db *DB) DebugAddr() string {
+	if db.dbg == nil {
+		return ""
 	}
-	return m
+	return db.dbg.Addr()
 }
 
 // CollectGarbage runs one synchronous garbage collection pass and returns
 // the number of versions discarded. It works even when background GC is
-// disabled, provided Options.GCInterval tracking is on; without tracking
-// it conservatively uses only the visibility horizon.
+// disabled; without Options.GCInterval's snapshot tracking it
+// conservatively uses only the visibility horizon.
 func (db *DB) CollectGarbage() int {
-	if db.collector != nil {
-		return db.collector.Collect()
-	}
-	return gc.New(db.eng, 0).Collect()
+	return db.collector.Collect()
 }
 
 // VisibilityLag returns how many assigned serialization positions are not

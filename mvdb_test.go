@@ -241,7 +241,7 @@ func TestGCKeepsSnapshotsReadable(t *testing.T) {
 	}
 	old.Commit()
 	db.CollectGarbage()
-	if db.Stats()["gc.pruned"] == 0 {
+	if db.Stats().GCReclaimed == 0 {
 		t.Fatal("GC pruned nothing")
 	}
 	db.View(func(tx *Tx) error {
@@ -324,8 +324,13 @@ func TestStatsVocabulary(t *testing.T) {
 	db.Update(func(tx *Tx) error { return tx.PutString("k", "v") })
 	db.View(func(tx *Tx) error { _, err := tx.Get("k"); return err })
 	st := db.Stats()
-	if st["commits.rw"] != 1 || st["commits.ro"] != 1 {
-		t.Fatalf("stats = %v", st)
+	if st.CommitsRW != 1 || st.CommitsRO != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The legacy flat vocabulary survives via Map() (harness, tools).
+	m := st.Map()
+	if m["commits.rw"] != 1 || m["commits.ro"] != 1 {
+		t.Fatalf("stats map = %v", m)
 	}
 }
 
@@ -404,7 +409,7 @@ func TestAdaptiveCCOption(t *testing.T) {
 	if got != "v" {
 		t.Fatalf("got %q", got)
 	}
-	if _, ok := db.Stats()["adaptive.switches"]; !ok {
+	if _, ok := db.Stats().Extra["adaptive.switches"]; !ok {
 		t.Fatal("adaptive stats missing")
 	}
 
@@ -428,7 +433,7 @@ func TestAdaptiveCCOption(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if db.Stats()["adaptive.switches"] == 0 {
+	if db.Stats().Extra["adaptive.switches"] == 0 {
 		t.Log("note: no switch occurred (policy is rate-based); acceptable but unusual under this load")
 	}
 }

@@ -1,0 +1,217 @@
+package mvdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"mvdb/internal/obs"
+)
+
+// TestNoObservabilityWithoutOptIn is the zero-cost guard: a default
+// Options{} database must start no HTTP listener and allocate no
+// tracer — observability counters are always on, but tracing and the
+// debug endpoint are strictly opt-in.
+func TestNoObservabilityWithoutOptIn(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.tracer != nil {
+		t.Fatal("Options{} allocated a tracer")
+	}
+	if db.dbg != nil {
+		t.Fatal("Options{} started a debug server")
+	}
+	if db.DebugAddr() != "" {
+		t.Fatalf("DebugAddr = %q, want empty", db.DebugAddr())
+	}
+	if db.Trace() != nil {
+		t.Fatal("Trace() should be nil when tracing is off")
+	}
+}
+
+// TestVisibilityGaugesInvariant checks the paper's Section 6 invariants
+// through the new gauges, under a mixed workload on every protocol:
+// VTNC < TNC in every snapshot, and once all read-write transactions
+// complete, vtnc converges to tnc-1 (zero visibility lag).
+func TestVisibilityGaugesInvariant(t *testing.T) {
+	for _, p := range allProtocols() {
+		t.Run(p.String(), func(t *testing.T) {
+			db, err := Open(Options{Protocol: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			stop := make(chan struct{})
+			violated := make(chan string, 1)
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st := db.Stats()
+					if st.VTNC >= st.TNC {
+						select {
+						case violated <- fmt.Sprintf("vtnc %d >= tnc %d", st.VTNC, st.TNC):
+						default:
+						}
+						return
+					}
+					if st.CommitsRW > st.BeginsRW || st.CommitsRO > st.BeginsRO {
+						select {
+						case violated <- fmt.Sprintf("commits exceed begins: %+v", st):
+						default:
+						}
+						return
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 150; i++ {
+						key := fmt.Sprintf("k%d", (w*31+i)%16)
+						db.Update(func(tx *Tx) error { return tx.PutString(key, "v") })
+						db.View(func(tx *Tx) error { tx.Get(key); return nil })
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(stop)
+			select {
+			case msg := <-violated:
+				t.Fatal(msg)
+			default:
+			}
+
+			// All read-write transactions are complete: visibility must
+			// have converged (vtnc == tnc-1, zero lag) — the delayed
+			// visibility of Section 6 is transient, never permanent.
+			st := db.Stats()
+			if st.VisibilityLag != 0 {
+				t.Fatalf("lag = %d after quiescence (tnc=%d vtnc=%d)", st.VisibilityLag, st.TNC, st.VTNC)
+			}
+			if st.VTNC != st.TNC-1 {
+				t.Fatalf("vtnc %d != tnc-1 %d after quiescence", st.VTNC, st.TNC-1)
+			}
+			if st.CommitsRW == 0 || st.CommitsRO == 0 {
+				t.Fatalf("workload did not run: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDebugEndpoint opens a database with a debug address and checks the
+// live endpoint end to end: stats reflect committed work and the trace
+// carries typed events.
+func TestDebugEndpoint(t *testing.T) {
+	db, err := Open(Options{DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.tracer == nil {
+		t.Fatal("DebugAddr should enable tracing")
+	}
+	addr := db.DebugAddr()
+	if addr == "" {
+		t.Fatal("no bound debug address")
+	}
+
+	if err := db.Update(func(tx *Tx) error { return tx.PutString("k", "v") }); err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *Tx) error { _, err := tx.Get("k"); return err })
+
+	resp, err := http.Get("http://" + addr + "/debug/mvdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p obs.Payload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.CommitsRW != 1 || p.Stats.CommitsRO != 1 {
+		t.Fatalf("endpoint stats = %+v", p.Stats)
+	}
+	if p.Stats.Protocol != "vc+2pl" {
+		t.Fatalf("protocol = %q", p.Stats.Protocol)
+	}
+	var sawCommit bool
+	for _, ev := range p.Trace {
+		if ev.Type == obs.EvCommit {
+			sawCommit = true
+		}
+	}
+	if !sawCommit {
+		t.Fatalf("trace has no commit event: %+v", p.Trace)
+	}
+	// The in-process dump agrees with the endpoint's trace.
+	if len(db.Trace()) == 0 {
+		t.Fatal("db.Trace() empty with tracing enabled")
+	}
+}
+
+// TestTraceEventsWithoutEndpoint: tracing alone (no HTTP server).
+func TestTraceEventsWithoutEndpoint(t *testing.T) {
+	db, err := Open(Options{TraceEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.dbg != nil {
+		t.Fatal("TraceEvents alone must not start a server")
+	}
+	db.Update(func(tx *Tx) error { return tx.PutString("a", "1") })
+	evs := db.Trace()
+	if len(evs) == 0 {
+		t.Fatal("no events traced")
+	}
+	want := map[obs.EventType]bool{obs.EvBegin: false, obs.EvWrite: false, obs.EvCommit: false}
+	for _, ev := range evs {
+		if _, ok := want[ev.Type]; ok {
+			want[ev.Type] = true
+		}
+	}
+	for ty, seen := range want {
+		if !seen {
+			t.Errorf("no %s event in trace", ty)
+		}
+	}
+}
+
+// TestStatsSubstrateCounters checks WAL and GC counters flow into the
+// same snapshot.
+func TestStatsSubstrateCounters(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{WALPath: dir + "/commit.log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		db.Update(func(tx *Tx) error { return tx.PutString("k", fmt.Sprint(i)) })
+	}
+	db.CollectGarbage()
+	st := db.Stats()
+	if st.WALAppends != 5 || st.WALBytes == 0 {
+		t.Fatalf("wal counters = appends=%d bytes=%d", st.WALAppends, st.WALBytes)
+	}
+	if st.GCPasses != 1 {
+		t.Fatalf("gc passes = %d, want 1", st.GCPasses)
+	}
+	if st.Keys != 1 || st.Versions < 1 || st.MaxVersionChain < 1 {
+		t.Fatalf("storage gauges = %+v", st)
+	}
+}
