@@ -462,6 +462,30 @@ func BenchmarkUpdateTxn(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateTxnAudited is BenchmarkUpdateTxn with the online
+// serializability auditor enabled — the delta is the per-commit cost of
+// feeding the audit pipeline (event construction + one channel send).
+func BenchmarkUpdateTxnAudited(b *testing.B) {
+	db, err := Open(Options{Protocol: TwoPhaseLocking, Audit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			return tx.Put("k", []byte("v"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	db.Audit().Drain()
+	if n := db.Audit().Dropped(); n > 0 {
+		b.Logf("audit dropped %d events", n)
+	}
+}
+
 // BenchmarkViewTxn measures the public API's View path end to end.
 func BenchmarkViewTxn(b *testing.B) {
 	db, err := Open(Options{})

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"mvdb/internal/audit"
 	"mvdb/internal/metrics"
 	"mvdb/internal/obs"
 )
@@ -31,9 +32,55 @@ func runLive(addr string, interval time.Duration, count int) {
 			fmt.Fprintf(os.Stderr, "mvinspect: %v\n", err)
 			os.Exit(1)
 		}
+		// The audit endpoint exists only when the database runs with
+		// Options.Audit; a 404 just omits the section.
+		aud, _ := fetchAudit(client, "http://"+addr+"/debug/mvdb/audit")
 		tb := liveTable(addr, cur, prev, interval)
+		addAuditRows(&tb, aud)
 		fmt.Print(tb.String())
 		prev = cur
+	}
+}
+
+func fetchAudit(client *http.Client, url string) (*audit.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var sn audit.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &sn, nil
+}
+
+// addAuditRows appends the online auditor's section: per-class span
+// latency quantiles, alarm totals and the most recent alarm.
+func addAuditRows(tb *metrics.Table, sn *audit.Snapshot) {
+	if sn == nil {
+		return
+	}
+	tb.AddRow("audit window / nodes / edges",
+		fmt.Sprintf("%d / %d / %d", sn.Window, sn.GraphNodes, sn.GraphEdges), "")
+	tb.AddRow("audit events (recv/drop)",
+		fmt.Sprintf("%d / %d", sn.Received, sn.Dropped), "")
+	for _, class := range []string{"read-only", "read-write"} {
+		l, ok := sn.Latency[class]
+		if !ok {
+			continue
+		}
+		tb.AddRow(fmt.Sprintf("audit %s p50/p95/p99", class),
+			fmt.Sprintf("%s / %s / %s",
+				metrics.Dur(l.P50NS), metrics.Dur(l.P95NS), metrics.Dur(l.P99NS)), "")
+	}
+	tb.AddRow("audit alarms", fmt.Sprint(sn.AlarmsTotal), "")
+	if n := len(sn.Alarms); n > 0 {
+		last := sn.Alarms[n-1]
+		tb.AddRow("last alarm", fmt.Sprintf("[%s] %s", last.Kind, last.Message), "")
 	}
 }
 

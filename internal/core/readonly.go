@@ -39,6 +39,7 @@ func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
 		t.tracked = true
 	}
 	e.rec.RecordBegin(id, engine.ReadOnly)
+	engine.RecordSnapshot(e.rec, id, sn)
 	return t
 }
 

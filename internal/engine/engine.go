@@ -130,6 +130,26 @@ type Recorder interface {
 	RecordAbort(txID uint64)
 }
 
+// SnapshotRecorder is an optional extension of Recorder: recorders that
+// implement it additionally receive the snapshot position a read-only
+// transaction pinned at begin (its start number sn). The online auditor
+// uses it to check the snapshot-read invariant — a read-only transaction
+// must never observe a version newer than its start number — which the
+// commit-time history alone cannot express.
+type SnapshotRecorder interface {
+	// RecordSnapshot notes that read-only transaction txID will read at
+	// snapshot position sn. Called after RecordBegin, before any read.
+	RecordSnapshot(txID uint64, sn uint64)
+}
+
+// RecordSnapshot forwards a snapshot position to r if (and only if) it
+// implements SnapshotRecorder; plain recorders are unaffected.
+func RecordSnapshot(r Recorder, txID, sn uint64) {
+	if sr, ok := r.(SnapshotRecorder); ok {
+		sr.RecordSnapshot(txID, sn)
+	}
+}
+
 // Multi combines recorders: every record call fans out to each non-nil,
 // non-Nop recorder in order. It collapses to NopRecorder or the single
 // remaining recorder when it can, so engines may attach an optional
@@ -189,6 +209,16 @@ func (m multiRecorder) RecordCommit(txID, tn uint64) {
 func (m multiRecorder) RecordAbort(txID uint64) {
 	for _, r := range m {
 		r.RecordAbort(txID)
+	}
+}
+
+// RecordSnapshot implements SnapshotRecorder, forwarding to the members
+// that implement it.
+func (m multiRecorder) RecordSnapshot(txID, sn uint64) {
+	for _, r := range m {
+		if sr, ok := r.(SnapshotRecorder); ok {
+			sr.RecordSnapshot(txID, sn)
+		}
 	}
 }
 

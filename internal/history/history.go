@@ -149,202 +149,54 @@ func (r *Recorder) Check() error {
 		return committed[i].id < committed[j].id
 	})
 
-	// Node 0 is the virtual bootstrap transaction (tn 0).
-	nodes := make([]*txRecord, 1, len(committed)+1)
-	nodes[0] = &txRecord{id: 0, tn: 0, writes: map[string]uint64{}}
-	nodes = append(nodes, committed...)
-
-	// Uniqueness of read-write transaction numbers (paper Lemma 1).
-	seenTN := make(map[uint64]uint64, len(committed))
+	// Build the MVSG through the shared incremental construction
+	// (graph.go) in Strict mode: all writers are indexed before any read
+	// is resolved, so a read of an unknown version is a dirty read.
+	g := NewGraph(Strict)
 	for _, t := range committed {
-		if len(t.writes) == 0 {
-			continue
-		}
-		if other, dup := seenTN[t.tn]; dup {
-			return fmt.Errorf("history: read-write txs %d and %d share tn %d", other, t.id, t.tn)
-		}
-		seenTN[t.tn] = t.id
-	}
-
-	// writers[key] = version TN -> node index; ordered lists for version order.
-	type writerList struct {
-		tns   []uint64
-		nodes []int
-	}
-	writers := make(map[string]*writerList)
-	addWriter := func(key string, tn uint64, node int) error {
-		wl := writers[key]
-		if wl == nil {
-			wl = &writerList{}
-			writers[key] = wl
-		}
-		wl.tns = append(wl.tns, tn)
-		wl.nodes = append(wl.nodes, node)
-		return nil
-	}
-	for i, t := range nodes {
-		if i == 0 {
-			continue
-		}
-		for key, vtn := range t.writes {
-			if vtn == 0 {
-				return fmt.Errorf("history: tx %d wrote version 0 of %q (reserved for bootstrap)", t.id, key)
-			}
-			if err := addWriter(key, vtn, i); err != nil {
-				return err
-			}
+		if err := g.AddWrites(t.history()); err != nil {
+			return err
 		}
 	}
-	for _, wl := range writers {
-		idx := make([]int, len(wl.tns))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return wl.tns[idx[a]] < wl.tns[idx[b]] })
-		tns := make([]uint64, len(idx))
-		nds := make([]int, len(idx))
-		for i, j := range idx {
-			tns[i] = wl.tns[j]
-			nds[i] = wl.nodes[j]
-		}
-		for i := 1; i < len(tns); i++ {
-			if tns[i] == tns[i-1] {
-				return fmt.Errorf("history: two committed writers created the same version %d", tns[i])
-			}
-		}
-		wl.tns, wl.nodes = tns, nds
-	}
-	findWriter := func(key string, vtn uint64) (int, bool) {
-		if vtn == 0 {
-			return 0, true
-		}
-		wl := writers[key]
-		if wl == nil {
-			return 0, false
-		}
-		i := sort.Search(len(wl.tns), func(i int) bool { return wl.tns[i] >= vtn })
-		if i < len(wl.tns) && wl.tns[i] == vtn {
-			return wl.nodes[i], true
-		}
-		return 0, false
-	}
-
-	// Build edges.
-	type edge struct{ from, to int }
-	edges := make(map[edge]struct{})
-	adj := make([][]int, len(nodes))
-	addEdge := func(from, to int) {
-		if from == to {
-			return
-		}
-		e := edge{from, to}
-		if _, ok := edges[e]; ok {
-			return
-		}
-		edges[e] = struct{}{}
-		adj[from] = append(adj[from], to)
-	}
-
-	for k, t := range nodes {
-		if k == 0 {
-			continue
-		}
-		for _, rd := range t.reads {
-			// If the reader later wrote the key itself and read its own
-			// version, skip: internal reads impose no inter-transaction
-			// constraint.
-			if own, ok := t.writes[rd.key]; ok && own == rd.versionTN {
-				continue
-			}
-			j, ok := findWriter(rd.key, rd.versionTN)
-			if !ok {
-				return fmt.Errorf("history: tx %d read version %d of %q whose writer never committed (dirty read)",
-					t.id, rd.versionTN, rd.key)
-			}
-			addEdge(j, k) // reads-from
-			wl := writers[rd.key]
-			if wl == nil {
-				continue
-			}
-			for wi := range wl.tns {
-				i := wl.nodes[wi]
-				if i == j || i == k {
-					continue
-				}
-				if wl.tns[wi] < rd.versionTN {
-					addEdge(i, j)
-				} else {
-					addEdge(k, i)
-				}
-			}
+	for _, t := range committed {
+		if _, err := g.AddReads(t.id); err != nil {
+			return err
 		}
 	}
 
-	if cyc := findCycle(adj); cyc != nil {
+	if cyc := g.FindCycle(); cyc != nil {
 		var sb strings.Builder
-		for i, n := range cyc {
+		for i, id := range cyc {
 			if i > 0 {
 				sb.WriteString(" -> ")
 			}
-			fmt.Fprintf(&sb, "T%d(tn=%d)", nodes[n].id, nodes[n].tn)
+			fmt.Fprintf(&sb, "T%d(tn=%d)", id, g.TN(id))
 		}
 		return fmt.Errorf("history: MVSG cycle: %s", sb.String())
 	}
 	return nil
 }
 
-// findCycle runs an iterative three-color DFS and returns one cycle as a
-// node list (first == last omitted), or nil if the graph is acyclic.
-func findCycle(adj [][]int) []int {
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make([]int, len(adj))
-	parent := make([]int, len(adj))
-	for i := range parent {
-		parent[i] = -1
+// history converts the recorder's internal record into the shared
+// TxHistory form used by the MVSG graph. Write order is made
+// deterministic so graph construction is reproducible.
+func (t *txRecord) history() TxHistory {
+	h := TxHistory{ID: t.id, TN: t.tn, Reads: make([]Op, 0, len(t.reads))}
+	for _, rd := range t.reads {
+		h.Reads = append(h.Reads, Op{Key: rd.key, VersionTN: rd.versionTN})
 	}
-	type frame struct {
-		node int
-		next int
-	}
-	for s := range adj {
-		if color[s] != white {
-			continue
+	if len(t.writes) > 0 {
+		keys := make([]string, 0, len(t.writes))
+		for k := range t.writes {
+			keys = append(keys, k)
 		}
-		stack := []frame{{s, 0}}
-		color[s] = gray
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			if f.next < len(adj[f.node]) {
-				n := adj[f.node][f.next]
-				f.next++
-				switch color[n] {
-				case white:
-					color[n] = gray
-					parent[n] = f.node
-					stack = append(stack, frame{n, 0})
-				case gray:
-					// Found a cycle: walk parents from f.node back to n.
-					cyc := []int{n}
-					for v := f.node; v != n && v != -1; v = parent[v] {
-						cyc = append(cyc, v)
-					}
-					// reverse for readability
-					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
-						cyc[i], cyc[j] = cyc[j], cyc[i]
-					}
-					return cyc
-				}
-				continue
-			}
-			color[f.node] = black
-			stack = stack[:len(stack)-1]
+		sort.Strings(keys)
+		h.Writes = make([]Op, 0, len(keys))
+		for _, k := range keys {
+			h.Writes = append(h.Writes, Op{Key: k, VersionTN: t.writes[k]})
 		}
 	}
-	return nil
+	return h
 }
 
 // BruteForceCheck decides one-copy serializability of the recorded history

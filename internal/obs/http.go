@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -24,16 +26,52 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// ServeOption customizes the debug server (extra handlers, extra
+// Prometheus families).
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	handlers   map[string]http.Handler
+	promExtras []func(io.Writer)
+}
+
+// WithHandler registers an additional handler on the debug mux, e.g.
+// the audit pipeline's /debug/mvdb/audit endpoint.
+func WithHandler(pattern string, h http.Handler) ServeOption {
+	return func(c *serveConfig) {
+		if c.handlers == nil {
+			c.handlers = make(map[string]http.Handler)
+		}
+		c.handlers[pattern] = h
+	}
+}
+
+// WithPromExtra registers a function that appends extra metric
+// families to the /metrics response after the engine snapshot.
+func WithPromExtra(fn func(io.Writer)) ServeOption {
+	return func(c *serveConfig) { c.promExtras = append(c.promExtras, fn) }
+}
+
+// PromContentType is the Content-Type of the /metrics response
+// (Prometheus text exposition format).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Serve starts an HTTP server on addr exposing:
 //
 //	/debug/mvdb  — Payload as JSON (stats snapshot + recent trace)
 //	/debug/vars  — the standard expvar registry, which includes an
 //	               "mvdb" variable backed by the same snapshot function
+//	/metrics     — the snapshot in Prometheus text format, plus any
+//	               extras registered with WithPromExtra
 //
 // addr may use port 0 to let the OS pick a free port; Addr reports the
 // bound address. snap must be safe for concurrent use; tracer may be
 // nil (the trace field is then omitted).
-func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*DebugServer, error) {
+func Serve(addr string, snap func() Snapshot, tracer *Tracer, opts ...ServeOption) (*DebugServer, error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -45,7 +83,21 @@ func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*DebugServer, err
 		enc.SetIndent("", "  ")
 		enc.Encode(Payload{Stats: snap(), Trace: tracer.Dump()})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Render into a buffer first so a mid-render error cannot leave
+		// a scraper with a truncated, half-valid exposition.
+		var buf bytes.Buffer
+		snap().WriteProm(&buf)
+		for _, fn := range cfg.promExtras {
+			fn(&buf)
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		w.Write(buf.Bytes())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	for pattern, h := range cfg.handlers {
+		mux.Handle(pattern, h)
+	}
 	publishExpvar(snap)
 	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)

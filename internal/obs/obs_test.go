@@ -189,6 +189,36 @@ func TestEventJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// Every event type — including EvSnapshot, which carries the read-only
+// start number in TN — must survive the JSON round trip, and unknown
+// type names must decode without error.
+func TestEventJSONRoundTripAllTypes(t *testing.T) {
+	for ty := EvBegin; ty <= EvSnapshot; ty++ {
+		in := Event{Seq: 1, At: 2, Type: ty, Tx: 3, TN: 4}
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ty.String() == "unknown" {
+			t.Fatalf("type %d has no name", ty)
+		}
+		var out Event
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("type %s: got %+v, want %+v", ty, out, in)
+		}
+	}
+	var out Event
+	if err := json.Unmarshal([]byte(`{"type":"from-the-future","seq":7}`), &out); err != nil {
+		t.Fatalf("unknown type name failed to decode: %v", err)
+	}
+	if out.Seq != 7 || out.Type != EvBegin {
+		t.Fatalf("unknown type decoded as %+v", out)
+	}
+}
+
 // TestServe spins up the debug server on an ephemeral port and checks
 // both endpoints' JSON shape.
 func TestServe(t *testing.T) {

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mvdb/internal/metrics"
+)
+
+// checkPromText validates the Prometheus text exposition format at the
+// level a scraper cares about: every non-comment line is
+// "name[{labels}] value" with a parseable float value, and every sample
+// is preceded by a # TYPE for its family.
+func checkPromText(t *testing.T, out string) {
+	t.Helper()
+	typed := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			t.Fatalf("sample %q has no # TYPE header", line)
+		}
+	}
+}
+
+func TestSnapshotWriteProm(t *testing.T) {
+	s := NewStats()
+	s.BeginsRO.Add(7)
+	s.BeginsRW.Add(5)
+	s.CommitsRO.Add(6)
+	s.CommitsRW.Add(4)
+	s.AbortsConflict.Add(2)
+	s.LockWaitNanos.Record(1_000_000)
+	sn := s.Snapshot()
+	sn.Protocol = "vc+2pl"
+	sn.TNC, sn.VTNC, sn.VisibilityLag = 10, 8, 1
+	sn.Extra = map[string]int64{"adaptive.switches": 3, `odd"name`: 1}
+
+	var sb strings.Builder
+	if err := sn.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	checkPromText(t, out)
+	for _, want := range []string{
+		`mvdb_info{protocol="vc+2pl"} 1`,
+		`mvdb_commits_total{class="ro"} 6`,
+		`mvdb_commits_total{class="rw"} 4`,
+		`mvdb_aborts_total{cause="conflict"} 2`,
+		"mvdb_tnc 10",
+		"mvdb_vtnc 8",
+		"mvdb_visibility_lag 1",
+		`mvdb_lock_wait_seconds{quantile="0.99"}`,
+		"mvdb_lock_wait_seconds_count 1",
+		`mvdb_extra{name="adaptive.switches"} 3`,
+		`mvdb_extra{name="odd\"name"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Value("m", 1.5, "k", "a\\b\"c\nd")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{k="a\\b\"c\nd"} 1.5` + "\n"
+	if sb.String() != want {
+		t.Fatalf("escaped line = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestPromWriterSummary(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Summary("lat_seconds", metrics.Summary{Count: 2, P50: 1e9, P90: 2e9, P99: 3e9, TotalNanoseconds: 4e9}, "class", "rw")
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds{class="rw",quantile="0.5"} 1`,
+		`lat_seconds{class="rw",quantile="0.99"} 3`,
+		`lat_seconds_sum{class="rw"} 4`,
+		`lat_seconds_count{class="rw"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The /metrics endpoint serves the snapshot plus registered extras with
+// the Prometheus content type, and WithHandler mounts extra routes.
+func TestServeMetricsEndpoint(t *testing.T) {
+	s := NewStats()
+	s.CommitsRW.Add(3)
+	s.BeginsRW.Add(3)
+	srv, err := Serve("127.0.0.1:0", func() Snapshot {
+		sn := s.Snapshot()
+		sn.Protocol = "vc+to"
+		return sn
+	}, nil,
+		WithPromExtra(func(w io.Writer) {
+			io.WriteString(w, "# TYPE extra_metric gauge\nextra_metric 42\n")
+		}),
+		WithHandler("/debug/mvdb/custom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "custom-ok")
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type = %q, want %q", ct, PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	checkPromText(t, out)
+	for _, want := range []string{
+		`mvdb_commits_total{class="rw"} 3`,
+		"extra_metric 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/mvdb/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	got, _ := io.ReadAll(resp2.Body)
+	if string(got) != "custom-ok" {
+		t.Fatalf("custom handler = %q", got)
+	}
+}

@@ -34,3 +34,9 @@ func (r Recorder) RecordCommit(txID, tn uint64) {
 func (r Recorder) RecordAbort(txID uint64) {
 	r.T.Record(Event{Type: EvAbort, Tx: txID})
 }
+
+// RecordSnapshot implements engine.SnapshotRecorder; the snapshot
+// position travels in TN.
+func (r Recorder) RecordSnapshot(txID, sn uint64) {
+	r.T.Record(Event{Type: EvSnapshot, Tx: txID, TN: sn})
+}

@@ -26,9 +26,12 @@ const (
 	// EvGC is a garbage collection pass; N is versions reclaimed, TN
 	// the watermark, Dur the pass duration.
 	EvGC
+	// EvSnapshot is a read-only transaction pinning its snapshot
+	// position; TN is the start number sn.
+	EvSnapshot
 )
 
-var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc"}
+var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc", "snapshot"}
 
 func (t EventType) String() string {
 	if int(t) < len(evNames) {

@@ -34,14 +34,17 @@ package mvdb
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mvdb/internal/adaptive"
+	"mvdb/internal/audit"
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
 	"mvdb/internal/gc"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
+	"mvdb/internal/vc"
 	"mvdb/internal/wal"
 )
 
@@ -158,6 +161,20 @@ type Options struct {
 	// oldest. Zero disables tracing unless DebugAddr is set, in which
 	// case a default-sized ring (obs.DefaultTraceEvents) is used.
 	TraceEvents int
+	// Audit enables the online serializability auditor: an asynchronous
+	// pipeline that mirrors the engine's event stream into a windowed
+	// incremental MVSG and per-transaction latency spans, raising alarms
+	// on cycles, history integrity violations, snapshot-read anomalies
+	// and version-control counter inversions. The audit path never
+	// blocks the engine — when its queue is full, events are dropped and
+	// counted. DB.Audit() exposes the live state; with DebugAddr set,
+	// GET /debug/mvdb/audit serves it as JSON and /metrics includes the
+	// auditor's families. Off — the default — costs nothing.
+	Audit bool
+	// AuditWindow is the number of committed read-write transactions the
+	// auditor keeps in its live MVSG (0 selects audit.DefaultWindow).
+	// Larger windows catch longer cycles at proportional memory cost.
+	AuditWindow int
 }
 
 // Stats is the typed observability snapshot returned by DB.Stats: every
@@ -171,6 +188,15 @@ type Stats = obs.Snapshot
 // Options.TraceEvents and DB.Trace).
 type TraceEvent = obs.Event
 
+// Auditor is the online serializability auditor (see Options.Audit).
+type Auditor = audit.Auditor
+
+// AuditSnapshot is the auditor's point-in-time state.
+type AuditSnapshot = audit.Snapshot
+
+// AuditAlarm is one anomaly the auditor detected.
+type AuditAlarm = audit.Alarm
+
 // DB is an open database.
 type DB struct {
 	eng       *core.Engine     // underlying engine (read-only paths, GC, stats)
@@ -179,6 +205,7 @@ type DB struct {
 	collector *gc.Collector
 	log       *wal.Writer
 	tracer    *obs.Tracer      // nil unless DebugAddr/TraceEvents
+	auditor   *audit.Auditor   // nil unless Options.Audit
 	dbg       *obs.DebugServer // nil unless DebugAddr
 	walPath   string
 	retries   int
@@ -197,6 +224,30 @@ func Open(opts Options) (*DB, error) {
 	} else if opts.DebugAddr != "" {
 		tracer = obs.NewTracer(obs.DefaultTraceEvents)
 	}
+	// The auditor, when enabled, rides the same recorder plumbing the
+	// offline checker uses. It must exist before the engine so core.New
+	// (and WAL recovery) can attach it; the version-control gauges it
+	// samples are published through an atomic pointer once the engine
+	// exists, so the consumer goroutine never races engine construction.
+	var auditor *audit.Auditor
+	var auditVC atomic.Pointer[vc.Controller]
+	if opts.Audit {
+		auditor = audit.New(audit.Options{
+			Window: opts.AuditWindow,
+			Gauges: func() (tnc, vtnc uint64) {
+				c := auditVC.Load()
+				if c == nil {
+					return 0, 0
+				}
+				// vtnc before tnc: both only grow, so this order can
+				// only under-report vtnc, keeping vtnc <= tnc-1 checks
+				// free of false alarms.
+				v := c.VTNC()
+				t := c.TNC()
+				return t, v
+			},
+		})
+	}
 	coreOpts := core.Options{
 		Protocol:      coreProtocol(opts.Protocol),
 		LockPolicy:    lockPolicy(opts.DeadlockPolicy),
@@ -205,11 +256,20 @@ func Open(opts Options) (*DB, error) {
 		TrackReadOnly: opts.GCInterval > 0,
 		Trace:         tracer,
 	}
+	if auditor != nil {
+		coreOpts.Recorder = auditor
+	}
 	retries := opts.MaxUpdateRetries
 	if retries <= 0 {
 		retries = 100
 	}
 
+	fail := func(err error) (*DB, error) {
+		if auditor != nil {
+			auditor.Close()
+		}
+		return nil, err
+	}
 	var eng *core.Engine
 	var log *wal.Writer
 	if opts.WALPath != "" {
@@ -219,26 +279,27 @@ func Open(opts Options) (*DB, error) {
 		}
 		horizon, snapRecs, err := loadSnapshot(snapPath(opts.WALPath))
 		if err != nil {
-			return nil, fmt.Errorf("mvdb: read snapshot: %w", err)
+			return fail(fmt.Errorf("mvdb: read snapshot: %w", err))
 		}
 		recovered, validLen, err := core.Restore(snapRecs, horizon, opts.WALPath, coreOpts)
 		if err != nil {
-			return nil, fmt.Errorf("mvdb: recover: %w", err)
+			return fail(fmt.Errorf("mvdb: recover: %w", err))
 		}
 		log, err = wal.OpenAppend(opts.WALPath, validLen, policy)
 		if err != nil {
-			return nil, fmt.Errorf("mvdb: open log: %w", err)
+			return fail(fmt.Errorf("mvdb: open log: %w", err))
 		}
 		if err := recovered.SetWAL(log); err != nil {
 			log.Close()
-			return nil, err
+			return fail(err)
 		}
 		eng = recovered
 	} else {
 		eng = core.New(coreOpts)
 	}
+	auditVC.Store(eng.VC())
 
-	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, walPath: opts.WALPath, retries: retries}
+	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, auditor: auditor, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
 		eng.SetProtocol(core.Optimistic)
 		db.ad = adaptive.Wrap(eng, adaptive.Options{})
@@ -260,7 +321,13 @@ func Open(opts Options) (*DB, error) {
 		db.collector.Start()
 	}
 	if opts.DebugAddr != "" {
-		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer)
+		var serveOpts []obs.ServeOption
+		if auditor != nil {
+			serveOpts = append(serveOpts,
+				obs.WithHandler("/debug/mvdb/audit", auditor.HTTPHandler()),
+				obs.WithPromExtra(auditor.WriteProm))
+		}
+		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer, serveOpts...)
 		if err != nil {
 			db.Close()
 			return nil, fmt.Errorf("mvdb: debug server: %w", err)
@@ -283,6 +350,11 @@ func (db *DB) Close() error {
 		db.collector.Stop()
 	}
 	err := db.eng.Close()
+	if db.auditor != nil {
+		// After the engine: no more events can be produced, so the
+		// auditor's drain-on-close covers the whole run.
+		db.auditor.Close()
+	}
 	if db.log != nil {
 		if cerr := db.log.Close(); err == nil {
 			err = cerr
@@ -415,6 +487,11 @@ func (db *DB) Stats() Stats {
 // when tracing is disabled. The ring holds the most recent
 // Options.TraceEvents events; older ones have been overwritten.
 func (db *DB) Trace() []TraceEvent { return db.tracer.Dump() }
+
+// Audit returns the online serializability auditor, or nil when
+// Options.Audit was off. Auditor.Snapshot() reads the live state;
+// Auditor.Drain() waits until everything recorded so far is processed.
+func (db *DB) Audit() *Auditor { return db.auditor }
 
 // DebugAddr reports the bound address of the debug HTTP server ("" when
 // Options.DebugAddr was empty). With Options.DebugAddr ":0" this is how
