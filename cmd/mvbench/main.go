@@ -27,12 +27,14 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (f1, e1..e8) or 'all'")
-		quick = flag.Bool("quick", false, "smaller runs (CI-sized)")
-		stats = flag.Bool("stats", false, "print the engine's full stats snapshot after each run")
+		which   = flag.String("experiment", "all", "experiment id (f1, e1..e8, a3, bench3) or 'all'")
+		quick   = flag.Bool("quick", false, "smaller runs (CI-sized)")
+		stats   = flag.Bool("stats", false, "print the engine's full stats snapshot after each run")
+		jsonOpt = flag.String("json", "", "bench3: also write machine-readable results (mvdb-bench/v1) to this file")
 	)
 	flag.Parse()
 	showStats = *stats
+	jsonOut = *jsonOpt
 
 	experiments := []struct {
 		id   string
@@ -49,6 +51,7 @@ func main() {
 		{"e7", "E7: version garbage collection", runE7},
 		{"e8", "E8: distributed version control", runE8},
 		{"a3", "A3: adaptive concurrency control (switching CC under a fixed VC)", runA3},
+		{"bench3", "bench3: striped lock manager + group-commit WAL regression set", runBench3},
 	}
 
 	ran := 0

@@ -69,6 +69,9 @@ type Options struct {
 	LockPolicy lock.Policy
 	// LockTimeout applies when LockPolicy is lock.TimeoutPolicy.
 	LockTimeout time.Duration
+	// LockStripes sets the lock table's stripe count (rounded up to a
+	// power of two; 0 = lock.DefaultStripes, 1 = a single global table).
+	LockStripes int
 	// Shards is the store shard count (0 = default).
 	Shards int
 	// Recorder receives history events for offline checking (tests).
@@ -140,14 +143,25 @@ func New(opts Options) *Engine {
 	// The lock manager exists regardless of the initial protocol so that
 	// SetProtocol can swap to two-phase locking later. Its wait observer
 	// feeds the wait-time histogram and (when tracing) lock-wait events.
-	e.locks = lock.NewManager(opts.LockPolicy, opts.LockTimeout)
+	e.locks = lock.NewManagerStriped(opts.LockPolicy, opts.LockTimeout, opts.LockStripes)
 	e.locks.SetWaitObserver(func(txID uint64, key string, wait time.Duration) {
 		e.stats.LockWaitNanos.Record(wait.Nanoseconds())
 		opts.Trace.Record(obs.Event{Type: obs.EvLockWait, Tx: txID, Key: key, Dur: wait.Nanoseconds()})
 	})
 	e.protocol.Store(int32(opts.Protocol))
 	e.roActive.init()
+	if opts.WAL != nil {
+		e.attachWALObserver(opts.WAL)
+	}
 	return e
+}
+
+// attachWALObserver feeds the log's group-commit batch sizes into the
+// stats registry (a no-op stream unless the log runs under SyncBatch).
+func (e *Engine) attachWALObserver(w *wal.Writer) {
+	w.SetBatchObserver(func(records int) {
+		e.stats.WALBatchSize.Record(int64(records))
+	})
 }
 
 // Name implements engine.Engine.
@@ -260,6 +274,8 @@ func (e *Engine) Snapshot() obs.Snapshot {
 		sn.LockDeadlocks = int64(e.locks.Deadlocks())
 		sn.LockWounds = int64(e.locks.Wounds())
 		sn.LockTimeouts = int64(e.locks.Timeouts())
+		sn.LockStripes = e.locks.Stripes()
+		sn.LockStripeCollisions = int64(e.locks.StripeCollisions())
 	}
 	// vtnc first, then tnc: both only grow, so vtnc <= tnc-1 holds for
 	// the pair even while commits race the snapshot.
@@ -293,6 +309,10 @@ func (e *Engine) Snapshot() obs.Snapshot {
 		sn.WALAppends = int64(a)
 		sn.WALFsyncs = int64(f)
 		sn.WALBytes = int64(b)
+		sn.WALBatches = int64(e.opts.WAL.Batches())
+		if a > 0 {
+			sn.WALFsyncPerAppend = float64(f) / float64(a)
+		}
 	}
 	return sn
 }
@@ -383,6 +403,7 @@ func (e *Engine) SetWAL(w *wal.Writer) error {
 		return errors.New("core: SetWAL after first transaction")
 	}
 	e.opts.WAL = w
+	e.attachWALObserver(w)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package lock
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -40,6 +41,33 @@ func BenchmarkAcquireSharedParallel(b *testing.B) {
 			m.ReleaseAll(id)
 		}
 	})
+}
+
+// BenchmarkStripedUniform measures the striping win directly: many
+// goroutines acquiring exclusive locks on a uniform keyspace, with one
+// stripe (the historical global-mutex table) versus the default count.
+func BenchmarkStripedUniform(b *testing.B) {
+	for _, stripes := range []int{1, DefaultStripes} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			m := NewManagerStriped(Detect, 0, stripes)
+			keys := make([]string, 256)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", i)
+			}
+			var ctr atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := ctr.Add(1)
+					m.Begin(id, id)
+					if err := m.Acquire(id, keys[id%256], Exclusive); err != nil {
+						b.Fatal(err)
+					}
+					m.ReleaseAll(id)
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkAcquireManyKeys(b *testing.B) {

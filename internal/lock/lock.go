@@ -19,11 +19,37 @@
 // control module only after their lock-point, so the VC module can never
 // participate in a deadlock — this package is the only place blocking
 // cycles can arise in the VC+2PL engine.
+//
+// # Striping
+//
+// The lock table is hash-striped: each stripe owns a disjoint slice of
+// the key space under its own mutex, so uncontended acquisitions on
+// unrelated keys never serialize on a shared lock. Per-transaction state
+// (held set, current wait, wound flag) lives under a small per-transaction
+// mutex. The lock order is stripe mutex → transaction mutex, one of each
+// at a time; nothing ever takes a stripe mutex while holding a
+// transaction mutex, which is what makes cross-stripe release and grant
+// safe.
+//
+// The slow path — deadlock detection and wound-wait victim selection,
+// which must observe wait-for edges that span stripes — is serialized by
+// a single detector mutex taken only when a request actually blocks.
+// Under that mutex the detector walks the wait-for relation locking one
+// stripe (or one transaction) at a time. This is sound because the edges
+// of a real deadlock cycle are stable: every transaction on the cycle is
+// parked, so none of them can release the lock that would break an edge
+// while the walk is in progress, and the request that closes a cycle
+// always runs a detection pass after its edge is published. The converse
+// does not hold — a concurrent grant outside the detector mutex can, in
+// principle, let the walk observe two edges that never coexisted and
+// abort a requester that was not truly deadlocked. Such spurious victims
+// are safe (the transaction retries) and vanishingly rare; see DESIGN.md.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,17 +95,29 @@ var (
 	ErrUnknown  = errors.New("lock: unknown transaction")
 )
 
+// DefaultStripes is the stripe count used by NewManager. Power of two;
+// sized so that a few dozen hot worker goroutines rarely collide.
+const DefaultStripes = 32
+
 type request struct {
 	tx      *txState
 	key     string
 	mode    Mode
 	upgrade bool
-	ready   chan error
+	// ready receives the request's verdict exactly once. The invariant
+	// that makes this safe across stripes: only the goroutine that
+	// removes the request from its queue (under the stripe mutex) may
+	// send.
+	ready chan error
 }
 
 type txState struct {
-	id      uint64
-	age     uint64 // smaller = older; used by WoundWait
+	id  uint64
+	age uint64 // smaller = older; used by WoundWait
+
+	// mu guards the fields below. Lock order: a stripe mutex may be held
+	// while taking mu; never the reverse.
+	mu      sync.Mutex
 	held    map[string]Mode
 	waiting *request
 	wounded bool
@@ -90,57 +128,136 @@ type lockState struct {
 	queue   []*request
 }
 
-// Manager is a lock manager. It is safe for concurrent use.
-type Manager struct {
-	mu      sync.Mutex
-	policy  Policy
-	timeout time.Duration
-	locks   map[string]*lockState
-	txs     map[uint64]*txState
-
-	waits     atomic.Uint64
-	deadlocks atomic.Uint64
-	wounds    atomic.Uint64
-	timeouts  atomic.Uint64
-
-	// onWait observes every blocked request when its wait ends; see
-	// SetWaitObserver.
-	onWait func(txID uint64, key string, wait time.Duration)
+// stripe is one hash partition of the lock table.
+type stripe struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
 }
 
-// NewManager creates a manager with the given policy. timeout applies only
-// to TimeoutPolicy (zero selects 50ms).
+const txShardCount = 16
+
+// txShard is one partition of the transaction registry.
+type txShard struct {
+	mu sync.Mutex
+	m  map[uint64]*txState
+}
+
+// Manager is a lock manager. It is safe for concurrent use.
+type Manager struct {
+	policy  Policy
+	timeout time.Duration
+	seed    maphash.Seed
+	stripes []stripe // len is a power of two
+	txs     [txShardCount]txShard
+
+	// detectMu serializes the blocking slow path: cycle detection
+	// (Detect) and victim selection (WoundWait). Fast-path grants and
+	// releases never touch it.
+	detectMu sync.Mutex
+
+	waits      atomic.Uint64
+	deadlocks  atomic.Uint64
+	wounds     atomic.Uint64
+	timeouts   atomic.Uint64
+	collisions atomic.Uint64
+
+	// onWait observes every blocked request when its wait ends; see
+	// SetWaitObserver. onBlock observes it when the wait begins; see
+	// SetBlockObserver. Both run outside every manager mutex.
+	onWait  func(txID uint64, key string, wait time.Duration)
+	onBlock func(txID uint64, key string)
+}
+
+// NewManager creates a manager with the given policy and DefaultStripes
+// lock-table stripes. timeout applies only to TimeoutPolicy (zero selects
+// 50ms).
 func NewManager(policy Policy, timeout time.Duration) *Manager {
+	return NewManagerStriped(policy, timeout, 0)
+}
+
+// NewManagerStriped creates a manager with an explicit stripe count
+// (rounded up to a power of two; 0 selects DefaultStripes, 1 reproduces
+// the historical single-mutex lock table).
+func NewManagerStriped(policy Policy, timeout time.Duration, stripes int) *Manager {
 	if timeout <= 0 {
 		timeout = 50 * time.Millisecond
 	}
-	return &Manager{
+	if stripes <= 0 {
+		stripes = DefaultStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	m := &Manager{
 		policy:  policy,
 		timeout: timeout,
-		locks:   make(map[string]*lockState),
-		txs:     make(map[uint64]*txState),
+		seed:    maphash.MakeSeed(),
+		stripes: make([]stripe, n),
 	}
+	for i := range m.stripes {
+		m.stripes[i].locks = make(map[string]*lockState)
+	}
+	for i := range m.txs {
+		m.txs[i].m = make(map[uint64]*txState)
+	}
+	return m
+}
+
+func (m *Manager) stripeFor(key string) *stripe {
+	return &m.stripes[maphash.String(m.seed, key)&uint64(len(m.stripes)-1)]
+}
+
+// lockStripe takes s.mu, counting the acquisition as a collision when
+// another goroutine already holds it (the stripe contention signal
+// surfaced in obs snapshots).
+func (m *Manager) lockStripe(s *stripe) {
+	if s.mu.TryLock() {
+		return
+	}
+	m.collisions.Add(1)
+	s.mu.Lock()
+}
+
+func (m *Manager) lookup(txID uint64) *txState {
+	sh := &m.txs[txID%txShardCount]
+	sh.mu.Lock()
+	tx := sh.m[txID]
+	sh.mu.Unlock()
+	return tx
 }
 
 // Begin registers a transaction. age must be unique and monotonically
 // increasing across Begin calls (the engine uses its begin sequence);
 // WoundWait uses it as the seniority order.
 func (m *Manager) Begin(txID, age uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.txs[txID]; ok {
+	sh := &m.txs[txID%txShardCount]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[txID]; ok {
 		panic(fmt.Sprintf("lock: duplicate Begin(%d)", txID))
 	}
-	m.txs[txID] = &txState{id: txID, age: age, held: make(map[string]Mode)}
+	sh.m[txID] = &txState{id: txID, age: age, held: make(map[string]Mode)}
 }
 
 // SetWaitObserver installs fn, called once per blocked request when its
 // wait ends — granted or failed — with the requester, the key, and the
-// time spent blocked. The callback runs outside the manager's mutex.
-// It must be installed before the manager sees concurrent use (engines
-// set it at construction).
+// time spent blocked. The callback runs on the waiter's own goroutine
+// with no manager, stripe or transaction mutex held, so a slow observer
+// can never stall lock traffic on any key (TestSlowWaitObserver pins
+// this down). It must be installed before the manager sees concurrent
+// use (engines set it at construction).
 func (m *Manager) SetWaitObserver(fn func(txID uint64, key string, wait time.Duration)) {
 	m.onWait = fn
+}
+
+// SetBlockObserver installs fn, called once per request at the moment it
+// begins to wait (its entry is queued and visible to other transactions).
+// Like the wait observer it runs on the requester's goroutine outside
+// every mutex. The deterministic schedule-exploration harness
+// (internal/schedtest) uses it to learn that a step has parked.
+func (m *Manager) SetBlockObserver(fn func(txID uint64, key string)) {
+	m.onBlock = fn
 }
 
 // Acquire blocks until the lock is granted or the transaction becomes a
@@ -148,62 +265,85 @@ func (m *Manager) SetWaitObserver(fn func(txID uint64, key string, wait time.Dur
 // mode) is a no-op; Shared→Exclusive upgrades are supported and take
 // priority over queued requests.
 func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
-	m.mu.Lock()
-	tx, ok := m.txs[txID]
-	if !ok {
-		m.mu.Unlock()
+	tx := m.lookup(txID)
+	if tx == nil {
 		return ErrUnknown
 	}
+	tx.mu.Lock()
 	if tx.wounded {
-		m.mu.Unlock()
+		tx.mu.Unlock()
 		return ErrWounded
 	}
-
 	held, hasHeld := tx.held[key]
+	tx.mu.Unlock()
 	if hasHeld && (held == Exclusive || mode == Shared) {
-		m.mu.Unlock()
 		return nil
 	}
 	upgrade := hasHeld // held Shared, want Exclusive
 
-	ls := m.locks[key]
+	s := m.stripeFor(key)
+	m.lockStripe(s)
+	ls := s.locks[key]
 	if ls == nil {
 		ls = &lockState{holders: make(map[*txState]Mode)}
-		m.locks[key] = ls
+		s.locks[key] = ls
 	}
 
-	if m.grantableLocked(ls, tx, mode, upgrade) {
+	if grantable(ls, tx, mode, upgrade) {
 		ls.holders[tx] = mode
+		tx.mu.Lock()
 		tx.held[key] = mode
-		m.mu.Unlock()
+		tx.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
 
 	req := &request{tx: tx, key: key, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	tx.mu.Lock()
+	if tx.wounded {
+		// Wounded between the entry check and publishing the wait: the
+		// wounder saw no waiting request to fail, so fail it here.
+		tx.mu.Unlock()
+		s.mu.Unlock()
+		return ErrWounded
+	}
 	if upgrade {
 		ls.queue = append([]*request{req}, ls.queue...)
 	} else {
 		ls.queue = append(ls.queue, req)
 	}
 	tx.waiting = req
+	tx.mu.Unlock()
+	s.mu.Unlock()
 	m.waits.Add(1)
+	if m.onBlock != nil {
+		m.onBlock(txID, key)
+	}
 
 	switch m.policy {
 	case Detect:
-		if m.cycleFromLocked(tx) {
-			m.removeRequestLocked(ls, req)
-			tx.waiting = nil
+		m.detectMu.Lock()
+		cycle := m.cycleFrom(tx)
+		var victim bool
+		if cycle {
+			victim = m.cancelRequest(req)
+		}
+		m.detectMu.Unlock()
+		if victim {
 			m.deadlocks.Add(1)
-			m.mu.Unlock()
 			return ErrDeadlock
 		}
+		// If a cycle was seen but the request had already been resolved
+		// (granted or wounded concurrently), the verdict is on the
+		// channel; fall through and take it.
 	case WoundWait:
-		m.woundYoungerLocked(ls, req)
+		m.detectMu.Lock()
+		m.woundYounger(req)
+		m.detectMu.Unlock()
 	}
-	m.mu.Unlock()
 
 	waitStart := time.Now()
-	err := m.await(ls, req)
+	err := m.await(req)
 	if m.onWait != nil {
 		m.onWait(txID, key, time.Since(waitStart))
 	}
@@ -212,7 +352,7 @@ func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
 
 // await blocks on a queued request until it is granted or fails under
 // the manager's policy.
-func (m *Manager) await(ls *lockState, req *request) error {
+func (m *Manager) await(req *request) error {
 	if m.policy == TimeoutPolicy {
 		timer := time.NewTimer(m.timeout)
 		defer timer.Stop()
@@ -220,70 +360,103 @@ func (m *Manager) await(ls *lockState, req *request) error {
 		case err := <-req.ready:
 			return err
 		case <-timer.C:
-			m.mu.Lock()
-			// A grant may have raced the timer.
-			select {
-			case err := <-req.ready:
-				m.mu.Unlock()
-				return err
-			default:
+			if m.cancelRequest(req) {
+				m.timeouts.Add(1)
+				return ErrTimeout
 			}
-			m.removeRequestLocked(ls, req)
-			req.tx.waiting = nil
-			m.timeouts.Add(1)
-			m.mu.Unlock()
-			return ErrTimeout
+			// A grant (or wound) raced the timer; its verdict is queued.
+			return <-req.ready
 		}
 	}
 	return <-req.ready
+}
+
+// cancelRequest removes req from its key's queue if it is still there,
+// reporting whether it was. Whoever removes a request owns its verdict;
+// a false return means some other path (grant, wound, release) already
+// resolved it and has sent — or is about to send — on req.ready.
+func (m *Manager) cancelRequest(req *request) bool {
+	s := m.stripeFor(req.key)
+	m.lockStripe(s)
+	ls := s.locks[req.key]
+	if ls == nil || !m.removeRequest(s, ls, req) {
+		s.mu.Unlock()
+		return false
+	}
+	req.tx.mu.Lock()
+	if req.tx.waiting == req {
+		req.tx.waiting = nil
+	}
+	req.tx.mu.Unlock()
+	s.mu.Unlock()
+	return true
 }
 
 // ReleaseAll releases every lock held by txID, grants any now-compatible
 // waiters, and forgets the transaction. It is the 2PL "shrinking phase"
 // done all at once (strict 2PL), and also the abort path for victims.
 func (m *Manager) ReleaseAll(txID uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx, ok := m.txs[txID]
-	if !ok {
+	sh := &m.txs[txID%txShardCount]
+	sh.mu.Lock()
+	tx := sh.m[txID]
+	delete(sh.m, txID)
+	sh.mu.Unlock()
+	if tx == nil {
 		return
 	}
-	if tx.waiting != nil {
+
+	tx.mu.Lock()
+	w := tx.waiting
+	tx.waiting = nil
+	keys := make([]string, 0, len(tx.held))
+	for key := range tx.held {
+		keys = append(keys, key)
+	}
+	tx.mu.Unlock()
+
+	if w != nil {
 		// Defensive: a transaction should never release while blocked,
 		// but if the engine aborts it from another goroutine, clean up.
-		if ls := m.locks[tx.waiting.key]; ls != nil {
-			m.removeRequestLocked(ls, tx.waiting)
+		s := m.stripeFor(w.key)
+		m.lockStripe(s)
+		if ls := s.locks[w.key]; ls != nil && m.removeRequest(s, ls, w) {
+			w.ready <- ErrWounded
 		}
-		tx.waiting.ready <- ErrWounded
-		tx.waiting = nil
+		s.mu.Unlock()
 	}
-	for key := range tx.held {
-		ls := m.locks[key]
-		if ls == nil {
-			continue
+	for _, key := range keys {
+		s := m.stripeFor(key)
+		m.lockStripe(s)
+		if ls := s.locks[key]; ls != nil {
+			if _, holds := ls.holders[tx]; holds {
+				delete(ls.holders, tx)
+				m.grantWaiters(s, key, ls)
+			}
 		}
-		delete(ls.holders, tx)
-		m.grantWaitersLocked(key, ls)
+		s.mu.Unlock()
 	}
-	delete(m.txs, txID)
 }
 
 // HeldCount returns how many locks txID currently holds.
 func (m *Manager) HeldCount(txID uint64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if tx, ok := m.txs[txID]; ok {
-		return len(tx.held)
+	tx := m.lookup(txID)
+	if tx == nil {
+		return 0
 	}
-	return 0
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.held)
 }
 
 // Wounded reports whether txID has been wounded and must abort.
 func (m *Manager) Wounded(txID uint64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx, ok := m.txs[txID]
-	return ok && tx.wounded
+	tx := m.lookup(txID)
+	if tx == nil {
+		return false
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.wounded
 }
 
 // Waits returns the number of requests that ever blocked.
@@ -298,8 +471,17 @@ func (m *Manager) Wounds() uint64 { return m.wounds.Load() }
 // Timeouts returns the number of timed-out requests.
 func (m *Manager) Timeouts() uint64 { return m.timeouts.Load() }
 
-// grantableLocked reports whether tx may be granted mode on ls right now.
-func (m *Manager) grantableLocked(ls *lockState, tx *txState, mode Mode, upgrade bool) bool {
+// Stripes returns the number of lock-table stripes.
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// StripeCollisions returns how many stripe-mutex acquisitions found the
+// stripe already locked — the striping contention signal: near zero means
+// the stripe count is ample for the workload.
+func (m *Manager) StripeCollisions() uint64 { return m.collisions.Load() }
+
+// grantable reports whether tx may be granted mode on ls right now. The
+// caller holds ls's stripe mutex.
+func grantable(ls *lockState, tx *txState, mode Mode, upgrade bool) bool {
 	if upgrade {
 		// Upgrade is granted when tx is the sole holder.
 		if len(ls.holders) != 1 {
@@ -323,8 +505,10 @@ func (m *Manager) grantableLocked(ls *lockState, tx *txState, mode Mode, upgrade
 	return true
 }
 
-// grantWaitersLocked grants queued requests from the front while possible.
-func (m *Manager) grantWaitersLocked(key string, ls *lockState) {
+// grantWaiters grants queued requests from the front while possible, and
+// removes the key's entry once nothing holds or waits on it. The caller
+// holds s.mu.
+func (m *Manager) grantWaiters(s *stripe, key string, ls *lockState) {
 	for len(ls.queue) > 0 {
 		req := ls.queue[0]
 		if req.upgrade {
@@ -351,33 +535,40 @@ func (m *Manager) grantWaitersLocked(key string, ls *lockState) {
 		}
 		ls.queue = ls.queue[1:]
 		ls.holders[req.tx] = req.mode
+		req.tx.mu.Lock()
 		req.tx.held[key] = req.mode
-		req.tx.waiting = nil
+		if req.tx.waiting == req {
+			req.tx.waiting = nil
+		}
+		req.tx.mu.Unlock()
 		req.ready <- nil
 	}
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, key)
+		delete(s.locks, key)
 	}
 }
 
-func (m *Manager) removeRequestLocked(ls *lockState, req *request) {
+// removeRequest unqueues req, reporting whether it was found; on success
+// it also grants anything the removal unblocked. The caller holds s.mu.
+func (m *Manager) removeRequest(s *stripe, ls *lockState, req *request) bool {
 	for i, r := range ls.queue {
 		if r == req {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-			break
+			m.grantWaiters(s, req.key, ls)
+			return true
 		}
 	}
-	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, req.key)
-	} else {
-		m.grantWaitersLocked(req.key, ls)
-	}
+	return false
 }
 
-// blockersLocked returns the transactions req waits for: conflicting
-// holders plus conflicting requests queued ahead of it.
-func (m *Manager) blockersLocked(req *request) []*txState {
-	ls := m.locks[req.key]
+// blockersFor returns the transactions req waits for: conflicting
+// holders plus conflicting requests queued ahead of it. It briefly locks
+// the key's stripe; the caller holds detectMu.
+func (m *Manager) blockersFor(req *request) []*txState {
+	s := m.stripeFor(req.key)
+	m.lockStripe(s)
+	defer s.mu.Unlock()
+	ls := s.locks[req.key]
 	if ls == nil {
 		return nil
 	}
@@ -404,9 +595,17 @@ func (m *Manager) blockersLocked(req *request) []*txState {
 	return out
 }
 
-// cycleFromLocked runs a DFS over the waits-for relation starting at
-// start, returning true if start is reachable from itself.
-func (m *Manager) cycleFromLocked(start *txState) bool {
+// cycleFrom runs a DFS over the waits-for relation starting at start,
+// returning true if start is reachable from itself. The caller holds
+// detectMu; stripes and transactions are locked one at a time along the
+// walk (see the package comment for why this is sound).
+func (m *Manager) cycleFrom(start *txState) bool {
+	start.mu.Lock()
+	w := start.waiting
+	start.mu.Unlock()
+	if w == nil {
+		return false
+	}
 	visited := map[*txState]bool{}
 	var stack []*txState
 	push := func(t *txState) {
@@ -415,10 +614,7 @@ func (m *Manager) cycleFromLocked(start *txState) bool {
 			stack = append(stack, t)
 		}
 	}
-	if start.waiting == nil {
-		return false
-	}
-	for _, b := range m.blockersLocked(start.waiting) {
+	for _, b := range m.blockersFor(w) {
 		push(b)
 	}
 	for len(stack) > 0 {
@@ -427,33 +623,56 @@ func (m *Manager) cycleFromLocked(start *txState) bool {
 		if t == start {
 			return true
 		}
-		if t.waiting == nil {
+		t.mu.Lock()
+		tw := t.waiting
+		t.mu.Unlock()
+		if tw == nil {
 			continue
 		}
-		for _, b := range m.blockersLocked(t.waiting) {
+		for _, b := range m.blockersFor(tw) {
 			push(b)
 		}
 	}
 	return false
 }
 
-// woundYoungerLocked wounds every conflicting transaction younger than the
+// woundYounger wounds every conflicting transaction younger than the
 // requester: holders keep running until they notice (next Acquire or an
-// explicit Wounded check); blocked waiters are failed immediately.
-func (m *Manager) woundYoungerLocked(ls *lockState, req *request) {
-	for _, b := range m.blockersLocked(req) {
-		if b.age <= req.tx.age || b.wounded {
+// explicit Wounded check); blocked waiters are failed immediately. The
+// caller holds detectMu.
+func (m *Manager) woundYounger(req *request) {
+	for _, b := range m.blockersFor(req) {
+		if b.age <= req.tx.age {
 			continue
 		}
-		b.wounded = true
-		m.wounds.Add(1)
-		if b.waiting != nil {
-			w := b.waiting
-			if wls := m.locks[w.key]; wls != nil {
-				m.removeRequestLocked(wls, w)
-			}
-			b.waiting = nil
-			w.ready <- ErrWounded
-		}
+		m.wound(b)
 	}
+}
+
+// wound marks b wounded and fails its blocked request, if any. The caller
+// holds detectMu.
+func (m *Manager) wound(b *txState) {
+	b.mu.Lock()
+	if b.wounded {
+		b.mu.Unlock()
+		return
+	}
+	b.wounded = true
+	w := b.waiting
+	b.mu.Unlock()
+	m.wounds.Add(1)
+	if w == nil {
+		return
+	}
+	s := m.stripeFor(w.key)
+	m.lockStripe(s)
+	if ls := s.locks[w.key]; ls != nil && m.removeRequest(s, ls, w) {
+		b.mu.Lock()
+		if b.waiting == w {
+			b.waiting = nil
+		}
+		b.mu.Unlock()
+		w.ready <- ErrWounded
+	}
+	s.mu.Unlock()
 }

@@ -75,6 +75,12 @@ type Stats struct {
 	// (granted or not); the lock manager's wait observer feeds it.
 	LockWaitNanos *metrics.Histogram
 
+	// WALBatchSize records the number of commit records covered by each
+	// group-commit fsync (the WAL writer's batch observer feeds it; empty
+	// unless the log runs under wal.SyncBatch). The summary's "nanosecond"
+	// fields hold record counts here — the histogram is unit-agnostic.
+	WALBatchSize *metrics.Histogram
+
 	// Garbage collection: passes run and versions reclaimed.
 	GCPasses    Counter
 	GCReclaimed Counter
@@ -82,7 +88,10 @@ type Stats struct {
 
 // NewStats returns an empty registry.
 func NewStats() *Stats {
-	return &Stats{LockWaitNanos: metrics.NewHistogram()}
+	return &Stats{
+		LockWaitNanos: metrics.NewHistogram(),
+		WALBatchSize:  metrics.NewHistogram(),
+	}
 }
 
 // Snapshot is a point-in-time view of the registry plus the gauges the
@@ -120,11 +129,24 @@ type Snapshot struct {
 	LockWounds    int64           `json:"lock_wounds"`
 	LockTimeouts  int64           `json:"lock_timeouts"`
 	LockWait      metrics.Summary `json:"lock_wait"`
+	// LockStripes is the lock table's stripe count; LockStripeCollisions
+	// counts stripe-mutex acquisitions that found the stripe already held
+	// (a cheap contention signal — zero under one thread, growing with
+	// concurrent traffic on colliding keys).
+	LockStripes          int   `json:"lock_stripes"`
+	LockStripeCollisions int64 `json:"lock_stripe_collisions"`
 
-	// Write-ahead log volume (zero when durability is off).
-	WALAppends int64 `json:"wal_appends"`
-	WALFsyncs  int64 `json:"wal_fsyncs"`
-	WALBytes   int64 `json:"wal_bytes"`
+	// Write-ahead log volume (zero when durability is off). WALBatches
+	// counts group-commit flush batches, WALBatchSize summarizes records
+	// per batch (count-valued, not nanoseconds), and WALFsyncPerAppend is
+	// the amortization ratio fsyncs/appends — 1.0 under SyncEveryCommit,
+	// approaching 1/batch-size under SyncBatch.
+	WALAppends        int64           `json:"wal_appends"`
+	WALFsyncs         int64           `json:"wal_fsyncs"`
+	WALBytes          int64           `json:"wal_bytes"`
+	WALBatches        int64           `json:"wal_batches"`
+	WALBatchSize      metrics.Summary `json:"wal_batch_size"`
+	WALFsyncPerAppend float64         `json:"wal_fsync_per_append"`
 
 	GCPasses    int64 `json:"gc_passes"`
 	GCReclaimed int64 `json:"gc_reclaimed"`
@@ -172,6 +194,7 @@ func (s *Stats) Snapshot() Snapshot {
 	sn.ROBlocked = s.ROBlocked.Load()
 	sn.RecencyWaits = s.RecencyWaits.Load()
 	sn.LockWait = s.LockWaitNanos.Summarize()
+	sn.WALBatchSize = s.WALBatchSize.Summarize()
 	sn.GCPasses = s.GCPasses.Load()
 	sn.GCReclaimed = s.GCReclaimed.Load()
 	return sn
@@ -205,9 +228,12 @@ func (sn Snapshot) Map() map[string]int64 {
 		"lock.deadlocks":  sn.LockDeadlocks,
 		"lock.wounds":     sn.LockWounds,
 		"lock.timeouts":   sn.LockTimeouts,
+		"lock.stripes":    int64(sn.LockStripes),
+		"lock.collisions": sn.LockStripeCollisions,
 		"wal.appends":     sn.WALAppends,
 		"wal.fsyncs":      sn.WALFsyncs,
 		"wal.bytes":       sn.WALBytes,
+		"wal.batches":     sn.WALBatches,
 		"gc.passes":       sn.GCPasses,
 		"gc.pruned":       sn.GCReclaimed,
 		"vc.tnc":          int64(sn.TNC),

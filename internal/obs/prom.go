@@ -138,6 +138,10 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 		p.Header("mvdb_lock_wait_seconds", "summary", "Completed lock-wait durations.")
 		p.Summary("mvdb_lock_wait_seconds", sn.LockWait)
 	}
+	p.Header("mvdb_lock_stripes", "gauge", "Lock table stripe count.")
+	p.Int("mvdb_lock_stripes", int64(sn.LockStripes))
+	p.Header("mvdb_lock_stripe_collisions_total", "counter", "Stripe-mutex acquisitions that found the stripe held.")
+	p.Int("mvdb_lock_stripe_collisions_total", sn.LockStripeCollisions)
 
 	p.Header("mvdb_wal_appends_total", "counter", "Commit records appended to the write-ahead log.")
 	p.Int("mvdb_wal_appends_total", sn.WALAppends)
@@ -145,6 +149,18 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 	p.Int("mvdb_wal_fsyncs_total", sn.WALFsyncs)
 	p.Header("mvdb_wal_bytes_total", "counter", "Bytes appended to the write-ahead log.")
 	p.Int("mvdb_wal_bytes_total", sn.WALBytes)
+	p.Header("mvdb_wal_batches_total", "counter", "Group-commit flush batches.")
+	p.Int("mvdb_wal_batches_total", sn.WALBatches)
+	if sn.WALBatchSize.Count > 0 {
+		p.Header("mvdb_wal_batch_records", "summary", "Commit records per group-commit batch.")
+		p.Value("mvdb_wal_batch_records", float64(sn.WALBatchSize.P50), "quantile", "0.5")
+		p.Value("mvdb_wal_batch_records", float64(sn.WALBatchSize.P90), "quantile", "0.9")
+		p.Value("mvdb_wal_batch_records", float64(sn.WALBatchSize.P99), "quantile", "0.99")
+		p.Int("mvdb_wal_batch_records_sum", sn.WALBatchSize.TotalNanoseconds)
+		p.Int("mvdb_wal_batch_records_count", int64(sn.WALBatchSize.Count))
+	}
+	p.Header("mvdb_wal_fsync_per_append", "gauge", "Fsync amortization ratio (fsyncs/appends; 1.0 without group commit).")
+	p.Value("mvdb_wal_fsync_per_append", sn.WALFsyncPerAppend)
 
 	p.Header("mvdb_gc_passes_total", "counter", "Garbage collection passes.")
 	p.Int("mvdb_gc_passes_total", sn.GCPasses)

@@ -1,0 +1,337 @@
+package schedtest
+
+import (
+	"fmt"
+	"testing"
+
+	"mvdb/internal/baseline"
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+)
+
+func TestInterleavingsEnumeration(t *testing.T) {
+	cases := []struct {
+		lengths []int
+		want    int
+	}{
+		{[]int{1}, 1},
+		{[]int{2, 2}, 6},
+		{[]int{3, 3}, 20},
+		{[]int{3, 2}, 10},
+		{[]int{4, 2}, 15},
+		{[]int{2, 2, 2}, 90},
+		{[]int{3, 3, 2}, 560},
+	}
+	for _, c := range cases {
+		got := Interleavings(c.lengths)
+		if len(got) != c.want {
+			t.Errorf("Interleavings(%v): %d schedules, want %d", c.lengths, len(got), c.want)
+		}
+		seen := map[string]bool{}
+		for _, sched := range got {
+			key := fmt.Sprint(sched)
+			if seen[key] {
+				t.Fatalf("duplicate schedule %v", sched)
+			}
+			seen[key] = true
+			counts := make([]int, len(c.lengths))
+			for _, i := range sched {
+				counts[i]++
+			}
+			for i, n := range counts {
+				if n != c.lengths[i] {
+					t.Fatalf("schedule %v uses script %d %d times, want %d", sched, i, n, c.lengths[i])
+				}
+			}
+		}
+	}
+}
+
+// protocols are the real engines every conflict suite must hold for.
+func protocols() map[string]core.Protocol {
+	return map[string]core.Protocol{
+		"2pl": core.TwoPhaseLocking,
+		"tso": core.TimestampOrdering,
+		"occ": core.Optimistic,
+	}
+}
+
+func realEngine(p core.Protocol) func(rec engine.Recorder) engine.Engine {
+	return func(rec engine.Recorder) engine.Engine {
+		return core.New(core.Options{Protocol: p, Recorder: rec})
+	}
+}
+
+// requireClean is the per-run baseline every real engine must meet: a
+// serializable history, a silent auditor, and no non-retryable errors.
+func requireClean(t *testing.T, r RunResult) {
+	t.Helper()
+	if r.HistoryErr != nil {
+		t.Errorf("schedule %v: checker rejected: %v", r.Schedule, r.HistoryErr)
+	}
+	if r.Alarms != 0 {
+		t.Errorf("schedule %v: auditor raised %d alarms", r.Schedule, r.Alarms)
+	}
+	for _, o := range r.Outcomes {
+		if o.Err != nil && !engine.Retryable(o.Err) {
+			t.Errorf("schedule %v: %s failed non-retryably: %v", r.Schedule, o.Name, o.Err)
+		}
+		if o.Committed && o.Err != nil {
+			t.Errorf("schedule %v: %s both committed and errored (%v)", r.Schedule, o.Name, o.Err)
+		}
+	}
+}
+
+// TestWriteWriteConflict explores every interleaving of two transactions
+// that each write the pair (x, y) to their own tag: serializability means
+// the final state always has x == y, whichever commits last.
+func TestWriteWriteConflict(t *testing.T) {
+	for name, p := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			suite := &Suite{
+				Bootstrap: map[string]string{"x": "0", "y": "0"},
+				Scripts: []Script{
+					{Name: "T1", Ops: []Op{{Kind: Put, Key: "x", Value: "a"}, {Kind: Put, Key: "y", Value: "a"}, {Kind: Commit}}},
+					{Name: "T2", Ops: []Op{{Kind: Put, Key: "x", Value: "b"}, {Kind: Put, Key: "y", Value: "b"}, {Kind: Commit}}},
+				},
+				NewEngine: realEngine(p),
+			}
+			n := suite.Explore(t.Fatalf, func(r RunResult) {
+				requireClean(t, r)
+				if r.Final["x"] != r.Final["y"] {
+					t.Errorf("schedule %v: torn pair x=%q y=%q", r.Schedule, r.Final["x"], r.Final["y"])
+				}
+				commits := 0
+				for _, o := range r.Outcomes {
+					if o.Committed {
+						commits++
+					}
+				}
+				if commits == 0 {
+					t.Errorf("schedule %v: both writers aborted", r.Schedule)
+				}
+			})
+			if n != 20 {
+				t.Fatalf("explored %d schedules, want all 20", n)
+			}
+		})
+	}
+}
+
+// TestWriteSkew explores the classic write-skew pattern: T1 reads x and
+// writes y, T2 reads y and writes x. A serializable engine must never let
+// both commit having both read the unmodified bootstrap values.
+func TestWriteSkew(t *testing.T) {
+	for name, p := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			suite := &Suite{
+				Bootstrap: map[string]string{"x": "0", "y": "0"},
+				Scripts: []Script{
+					{Name: "T1", Ops: []Op{{Kind: Get, Key: "x"}, {Kind: Put, Key: "y", Value: "1"}, {Kind: Commit}}},
+					{Name: "T2", Ops: []Op{{Kind: Get, Key: "y"}, {Kind: Put, Key: "x", Value: "1"}, {Kind: Commit}}},
+				},
+				NewEngine: realEngine(p),
+			}
+			n := suite.Explore(t.Fatalf, func(r RunResult) {
+				requireClean(t, r)
+				t1, t2 := r.Outcomes[0], r.Outcomes[1]
+				if t1.Committed && t2.Committed && t1.Reads["x"] == "0" && t2.Reads["y"] == "0" {
+					t.Errorf("schedule %v: write skew committed (both read stale)", r.Schedule)
+				}
+			})
+			if n != 20 {
+				t.Fatalf("explored %d schedules, want all 20", n)
+			}
+		})
+	}
+}
+
+// TestDeadlockPair explores opposite-order lock acquisition under 2PL
+// with deadlock detection: in the interleavings that close the waits-for
+// cycle exactly one transaction is chosen as victim, the other commits,
+// and the oracles stay silent throughout.
+func TestDeadlockPair(t *testing.T) {
+	suite := &Suite{
+		Bootstrap: map[string]string{"a": "0", "b": "0"},
+		Scripts: []Script{
+			{Name: "T1", Ops: []Op{{Kind: Put, Key: "a", Value: "1"}, {Kind: Put, Key: "b", Value: "1"}, {Kind: Commit}}},
+			{Name: "T2", Ops: []Op{{Kind: Put, Key: "b", Value: "2"}, {Kind: Put, Key: "a", Value: "2"}, {Kind: Commit}}},
+		},
+		NewEngine: realEngine(core.TwoPhaseLocking),
+	}
+	deadlocked := 0
+	n := suite.Explore(t.Fatalf, func(r RunResult) {
+		requireClean(t, r)
+		victims, commits := 0, 0
+		for _, o := range r.Outcomes {
+			if o.Err != nil {
+				victims++
+			}
+			if o.Committed {
+				commits++
+			}
+		}
+		if victims > 1 {
+			t.Errorf("schedule %v: both transactions aborted", r.Schedule)
+		}
+		if commits == 0 {
+			t.Errorf("schedule %v: nothing committed", r.Schedule)
+		}
+		if victims == 1 {
+			deadlocked++
+		}
+	})
+	if n != 20 {
+		t.Fatalf("explored %d schedules, want all 20", n)
+	}
+	if deadlocked == 0 {
+		t.Fatal("no interleaving produced a deadlock; the suite is not exercising the detector")
+	}
+	t.Logf("deadlock victim chosen in %d/%d schedules", deadlocked, n)
+}
+
+// TestReadOnlyIndependence runs two conflicting writers plus a read-only
+// observer under every protocol: the observer must commit cleanly in
+// every interleaving — it never blocks, never aborts, never alarms.
+// (Three scripts: this is the 90-schedule tier above the 2-transaction
+// suites.)
+func TestReadOnlyIndependence(t *testing.T) {
+	for name, p := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			suite := &Suite{
+				Bootstrap: map[string]string{"x": "0"},
+				Scripts: []Script{
+					{Name: "W1", Ops: []Op{{Kind: Put, Key: "x", Value: "1"}, {Kind: Commit}}},
+					{Name: "W2", Ops: []Op{{Kind: Put, Key: "x", Value: "2"}, {Kind: Commit}}},
+					{Name: "RO", Class: engine.ReadOnly, Ops: []Op{{Kind: Get, Key: "x"}, {Kind: Commit}}},
+				},
+				NewEngine: realEngine(p),
+			}
+			n := suite.Explore(t.Fatalf, func(r RunResult) {
+				requireClean(t, r)
+				ro := r.Outcomes[2]
+				if ro.Err != nil || !ro.Committed {
+					t.Errorf("schedule %v: read-only tx (committed=%v, err=%v)", r.Schedule, ro.Committed, ro.Err)
+				}
+				if got := ro.Reads["x"]; got != "0" && got != "1" && got != "2" {
+					t.Errorf("schedule %v: read-only tx saw impossible x=%q", r.Schedule, got)
+				}
+			})
+			if n != 90 {
+				t.Fatalf("explored %d schedules, want all 90", n)
+			}
+		})
+	}
+}
+
+// TestSerialSchedulesCommit pins the degenerate case: a schedule that
+// never interleaves must commit both transactions under every protocol.
+func TestSerialSchedulesCommit(t *testing.T) {
+	for name, p := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			suite := &Suite{
+				Bootstrap: map[string]string{"x": "0", "y": "0"},
+				Scripts: []Script{
+					{Name: "T1", Ops: []Op{{Kind: Put, Key: "x", Value: "a"}, {Kind: Put, Key: "y", Value: "a"}, {Kind: Commit}}},
+					{Name: "T2", Ops: []Op{{Kind: Get, Key: "x"}, {Kind: Put, Key: "y", Value: "b"}, {Kind: Commit}}},
+				},
+				NewEngine: realEngine(p),
+			}
+			for _, order := range [][]int{
+				{0, 0, 0, 1, 1, 1},
+				{1, 1, 1, 0, 0, 0},
+			} {
+				r := suite.Run(order)
+				if r.Stalled {
+					t.Fatalf("serial schedule %v stalled", order)
+				}
+				requireClean(t, r)
+				for _, o := range r.Outcomes {
+					if !o.Committed {
+						t.Errorf("serial schedule %v: %s did not commit (err=%v)", order, o.Name, o.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// a1Suite is the early-registration ablation's conflict pattern: T1 pins
+// its transaction number at Begin, T2 commits an overwrite of x, then T1
+// reads and overwrites it with the smaller number. On the broken engine
+// some interleaving produces a non-serializable history; on the correct
+// engine every interleaving must stay clean.
+func a1Suite(newEngine func(engine.Recorder) engine.Engine) *Suite {
+	return &Suite{
+		Bootstrap: map[string]string{"x": "0"},
+		Scripts: []Script{
+			{Name: "T1", Ops: []Op{{Kind: Begin}, {Kind: Get, Key: "x"}, {Kind: Put, Key: "x", Value: "t1"}, {Kind: Commit}}},
+			{Name: "T2", Ops: []Op{{Kind: Put, Key: "x", Value: "t2"}, {Kind: Commit}}},
+		},
+		NewEngine: newEngine,
+	}
+}
+
+// a2Suite is the eager-visibility ablation's pattern: an anti-dependency
+// from T1 to T2 on z, plus a read-only observer that can catch the
+// inconsistent snapshot (T2's z visible, T1's y not) when vtnc advances
+// in completion order.
+func a2Suite(newEngine func(engine.Recorder) engine.Engine) *Suite {
+	return &Suite{
+		Bootstrap: map[string]string{"y": "0", "z": "0"},
+		Scripts: []Script{
+			{Name: "T1", Ops: []Op{{Kind: Get, Key: "z"}, {Kind: Put, Key: "y", Value: "t1"}, {Kind: Commit}}},
+			{Name: "T2", Ops: []Op{{Kind: Put, Key: "z", Value: "t2"}, {Kind: Commit}}},
+			{Name: "RO", Class: engine.ReadOnly, Ops: []Op{{Kind: Get, Key: "z"}, {Kind: Get, Key: "y"}, {Kind: Commit}}},
+		},
+		NewEngine: newEngine,
+	}
+}
+
+// TestBrokenBaselinesAlarm replays every interleaving of each ablation's
+// conflict pattern against the deliberately broken engine and against
+// the corresponding correct engine: the broken engine must trip the
+// oracles in at least one schedule, the correct engine in none. This is
+// the end-to-end proof that the schedule harness plus the two auditors
+// have real detection power, not just the absence of false positives.
+func TestBrokenBaselinesAlarm(t *testing.T) {
+	cases := []struct {
+		name    string
+		broken  func() *Suite
+		control func() *Suite
+	}{
+		{
+			name:    "early-register-2pl",
+			broken:  func() *Suite { return a1Suite(baseline.NewBrokenEarlyRegister) },
+			control: func() *Suite { return a1Suite(realEngine(core.TwoPhaseLocking)) },
+		},
+		{
+			name:    "eager-visibility-tso",
+			broken:  func() *Suite { return a2Suite(baseline.NewBrokenEagerVisibility) },
+			control: func() *Suite { return a2Suite(realEngine(core.TimestampOrdering)) },
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			caught := 0
+			n := c.broken().Explore(t.Fatalf, func(r RunResult) {
+				if r.HistoryErr != nil || r.Alarms > 0 {
+					caught++
+				}
+			})
+			if caught == 0 {
+				t.Fatalf("broken engine survived all %d schedules with both oracles silent", n)
+			}
+			t.Logf("oracles caught the broken engine in %d/%d schedules", caught, n)
+
+			c.control().Explore(t.Fatalf, func(r RunResult) {
+				if r.HistoryErr != nil {
+					t.Errorf("control schedule %v: checker rejected the correct engine: %v", r.Schedule, r.HistoryErr)
+				}
+				if r.Alarms != 0 {
+					t.Errorf("control schedule %v: auditor alarmed on the correct engine", r.Schedule)
+				}
+			})
+		})
+	}
+}

@@ -31,8 +31,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Write is one key's update inside a commit record.
@@ -56,21 +58,69 @@ const (
 	SyncEveryCommit SyncPolicy = iota
 	// SyncNever leaves flushing to the OS (benchmarks, tests).
 	SyncNever
+	// SyncBatch is group commit: Append enqueues the record and blocks
+	// until a background flusher's fsync covers it. Durability on return
+	// is identical to SyncEveryCommit — only the fsync count is
+	// amortized across however many commits piled up while the previous
+	// fsync was in flight (plus an optional gathering delay; see
+	// Options).
+	SyncBatch
 )
 
+// Options configures a Writer beyond the bare sync policy.
+type Options struct {
+	// Policy selects when appended records reach stable storage.
+	Policy SyncPolicy
+	// BatchMaxRecords ends a SyncBatch gathering delay early once this
+	// many records are pending (0 selects DefaultBatchMaxRecords). The
+	// fsync itself always covers everything appended by the time the
+	// flusher runs; this bound only stops it from waiting for more.
+	BatchMaxRecords int
+	// BatchMaxDelay bounds how long the SyncBatch flusher keeps waiting
+	// for *more* committers after every currently-runnable one has
+	// already joined the batch, trading commit latency for larger
+	// batches. Zero (the default) means adaptive gathering only: the
+	// flusher yields the CPU until a scheduling round adds no new
+	// record — so concurrent committers always coalesce — then fsyncs
+	// without any timer wait.
+	BatchMaxDelay time.Duration
+}
+
+// DefaultBatchMaxRecords bounds the gathering delay of a SyncBatch
+// flusher (see Options.BatchMaxRecords).
+const DefaultBatchMaxRecords = 128
+
 // Writer appends commit records to a log file. It is safe for concurrent
-// use; records are appended atomically with respect to one another (group
-// commit falls out of the buffered writer plus a single mutex).
+// use; records are appended atomically with respect to one another.
+// Under SyncBatch a background flusher amortizes fsync across concurrent
+// committers (true group commit); under SyncEveryCommit each Append
+// fsyncs inline.
 type Writer struct {
 	mu     sync.Mutex
 	f      *os.File
 	bw     *bufio.Writer
-	policy SyncPolicy
+	opts   Options
 	closed bool
+
+	// Group-commit state, guarded by mu (SyncBatch only). enqSeq counts
+	// records written into bw; syncSeq counts records covered by a
+	// completed fsync; syncErr is sticky — once an fsync fails, the
+	// writer is broken and every waiter and later Append reports it.
+	enqSeq   uint64
+	syncSeq  uint64
+	syncErr  error
+	synced   *sync.Cond // broadcast when syncSeq advances, syncErr sets, or the writer closes
+	wake     *sync.Cond // wakes the flusher when work arrives or the writer closes
+	flusherDone chan struct{}
 
 	appends atomic.Uint64
 	fsyncs  atomic.Uint64
 	bytes   atomic.Uint64
+	batches atomic.Uint64
+
+	// onBatch observes each group-commit batch's record count; see
+	// SetBatchObserver.
+	onBatch func(records int)
 }
 
 // Counters reports lifetime log volume: records appended, fsyncs
@@ -80,19 +130,56 @@ func (w *Writer) Counters() (appends, fsyncs, bytes uint64) {
 	return w.appends.Load(), w.fsyncs.Load(), w.bytes.Load()
 }
 
+// Batches reports how many group-commit fsync batches have completed
+// (zero outside SyncBatch). appends/fsyncs is the amortization ratio.
+func (w *Writer) Batches() uint64 { return w.batches.Load() }
+
+// SetBatchObserver installs fn, called after each completed group-commit
+// batch with the number of records the fsync covered. It runs on the
+// flusher goroutine outside the writer's mutex. Install it before the
+// writer sees concurrent use.
+func (w *Writer) SetBatchObserver(fn func(records int)) {
+	w.onBatch = fn
+}
+
+func newWriter(f *os.File, opts Options) *Writer {
+	if opts.BatchMaxRecords <= 0 {
+		opts.BatchMaxRecords = DefaultBatchMaxRecords
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), opts: opts}
+	if opts.Policy == SyncBatch {
+		w.synced = sync.NewCond(&w.mu)
+		w.wake = sync.NewCond(&w.mu)
+		w.flusherDone = make(chan struct{})
+		go w.flusher()
+	}
+	return w
+}
+
 // Create opens (or truncates) a log file for writing.
 func Create(path string, policy SyncPolicy) (*Writer, error) {
+	return CreateWith(path, Options{Policy: policy})
+}
+
+// CreateWith opens (or truncates) a log file for writing with full
+// options.
+func CreateWith(path string, opts Options) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), policy: policy}, nil
+	return newWriter(f, opts), nil
 }
 
 // OpenAppend opens an existing log for appending after recovery. validLen
 // must be the byte offset returned by Replay: any torn tail beyond it is
 // truncated first.
 func OpenAppend(path string, validLen int64, policy SyncPolicy) (*Writer, error) {
+	return OpenAppendWith(path, validLen, Options{Policy: policy})
+}
+
+// OpenAppendWith is OpenAppend with full options.
+func OpenAppendWith(path string, validLen int64, opts Options) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
@@ -105,12 +192,13 @@ func OpenAppend(path string, validLen int64, policy SyncPolicy) (*Writer, error)
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), policy: policy}, nil
+	return newWriter(f, opts), nil
 }
 
 // Append encodes and appends one commit record, flushing according to the
-// sync policy. The record is durable when Append returns (under
-// SyncEveryCommit).
+// sync policy. The record is durable when Append returns under
+// SyncEveryCommit and SyncBatch; under SyncBatch the caller blocked on a
+// shared fsync ticket rather than issuing its own.
 func (w *Writer) Append(r Record) error {
 	payload := encodePayload(nil, r)
 	var hdr [8]byte
@@ -122,6 +210,9 @@ func (w *Writer) Append(r Record) error {
 	if w.closed {
 		return errors.New("wal: writer closed")
 	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -130,7 +221,8 @@ func (w *Writer) Append(r Record) error {
 	}
 	w.appends.Add(1)
 	w.bytes.Add(uint64(len(hdr) + len(payload)))
-	if w.policy == SyncEveryCommit {
+	switch w.opts.Policy {
+	case SyncEveryCommit:
 		if err := w.bw.Flush(); err != nil {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
@@ -138,8 +230,99 @@ func (w *Writer) Append(r Record) error {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		w.fsyncs.Add(1)
+	case SyncBatch:
+		w.enqSeq++
+		seq := w.enqSeq
+		w.wake.Signal()
+		for w.syncSeq < seq && w.syncErr == nil && !w.closed {
+			w.synced.Wait()
+		}
+		if w.syncSeq >= seq {
+			return nil
+		}
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		return errors.New("wal: writer closed before batch fsync")
 	}
 	return nil
+}
+
+// flusher is the SyncBatch background goroutine: it gathers everything
+// appended since the last fsync, flushes the buffer under the mutex,
+// fsyncs outside it (so committers keep enqueueing into the next batch
+// while the disk works), then releases every ticket the fsync covered.
+func (w *Writer) flusher() {
+	defer close(w.flusherDone)
+	w.mu.Lock()
+	for {
+		for w.enqSeq == w.syncSeq && !w.closed {
+			w.wake.Wait()
+		}
+		if w.enqSeq == w.syncSeq && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		// Gathering: let every committer that is already runnable join
+		// the batch before paying the fsync. The loop yields the CPU and
+		// re-checks; a round in which no new record arrived means every
+		// runnable committer has enqueued and parked. Yielding instead of
+		// sleeping matters: timer sleeps have roughly millisecond
+		// granularity on stock kernels — an order of magnitude coarser
+		// than the fsync being amortized — and would dominate commit
+		// latency. BatchMaxDelay, when set, extends the gather past the
+		// first quiet round to wait for stragglers that are not yet
+		// runnable.
+		if !w.closed && w.enqSeq-w.syncSeq < uint64(w.opts.BatchMaxRecords) {
+			var deadline time.Time
+			if d := w.opts.BatchMaxDelay; d > 0 {
+				deadline = time.Now().Add(d)
+			}
+			for !w.closed && w.enqSeq-w.syncSeq < uint64(w.opts.BatchMaxRecords) {
+				before := w.enqSeq
+				w.mu.Unlock()
+				runtime.Gosched()
+				w.mu.Lock()
+				if w.enqSeq > before {
+					continue
+				}
+				now := time.Now()
+				if deadline.IsZero() || !now.Before(deadline) {
+					break
+				}
+				w.mu.Unlock()
+				time.Sleep(deadline.Sub(now))
+				w.mu.Lock()
+			}
+		}
+		target := w.enqSeq
+		err := w.bw.Flush()
+		w.mu.Unlock()
+		if err == nil {
+			err = w.f.Sync()
+		}
+		w.mu.Lock()
+		var batch int
+		if err != nil {
+			w.syncErr = fmt.Errorf("wal: batch sync: %w", err)
+		} else if target > w.syncSeq {
+			batch = int(target - w.syncSeq)
+			w.syncSeq = target
+			w.fsyncs.Add(1)
+			w.batches.Add(1)
+		}
+		w.synced.Broadcast()
+		if batch > 0 && w.onBatch != nil {
+			ob := w.onBatch
+			w.mu.Unlock()
+			ob(batch)
+			w.mu.Lock()
+		}
+		if w.syncErr != nil {
+			w.mu.Unlock()
+			return
+		}
+	}
 }
 
 // Flush forces buffered records to the OS and disk.
@@ -153,17 +336,37 @@ func (w *Writer) Flush() error {
 		return err
 	}
 	w.fsyncs.Add(1)
+	if w.opts.Policy == SyncBatch && w.enqSeq > w.syncSeq {
+		// The inline fsync covered everything buffered so far; release
+		// any tickets the flusher had not reached yet.
+		w.syncSeq = w.enqSeq
+		w.synced.Broadcast()
+	}
 	return nil
 }
 
-// Close flushes and closes the log.
+// Close flushes and closes the log. Under SyncBatch it first drains the
+// flusher, so every Append that returned nil is durable before the file
+// closes.
 func (w *Writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return nil
 	}
 	w.closed = true
+	if w.opts.Policy == SyncBatch {
+		w.wake.Signal()
+		w.synced.Broadcast()
+		w.mu.Unlock()
+		<-w.flusherDone
+		w.mu.Lock()
+	}
+	defer w.mu.Unlock()
+	if w.syncErr != nil {
+		w.f.Close()
+		return w.syncErr
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return err

@@ -223,6 +223,70 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	}
 }
 
+func TestGroupCommitEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	db, err := Open(Options{
+		WALPath:             path,
+		GroupCommit:         true,
+		GroupCommitMaxDelay: 200 * time.Microsecond,
+		LockStripes:         8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("k%d", (w*per+i)%32)
+				if err := db.Update(func(tx *Tx) error {
+					return tx.PutString(key, fmt.Sprintf("%d-%d", w, i))
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := db.Stats()
+	if st.WALAppends != workers*per {
+		t.Fatalf("wal appends = %d, want %d", st.WALAppends, workers*per)
+	}
+	if st.WALFsyncs >= st.WALAppends {
+		t.Fatalf("group commit did not amortize: %d fsyncs for %d appends", st.WALFsyncs, st.WALAppends)
+	}
+	if st.WALBatches == 0 || st.WALBatchSize.Count == 0 {
+		t.Fatalf("batch gauges empty: batches=%d sizes=%d", st.WALBatches, st.WALBatchSize.Count)
+	}
+	if st.WALFsyncPerAppend <= 0 || st.WALFsyncPerAppend >= 1 {
+		t.Fatalf("fsync/append ratio = %v, want in (0,1)", st.WALFsyncPerAppend)
+	}
+	if st.LockStripes != 8 {
+		t.Fatalf("lock stripes = %d, want 8", st.LockStripes)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged commit must survive reopen.
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	count := 0
+	db2.View(func(tx *Tx) error {
+		return tx.Scan("k", func(string, []byte) bool { count++; return true })
+	})
+	if count != 32 {
+		t.Fatalf("recovered %d keys, want 32", count)
+	}
+}
+
 func TestGCKeepsSnapshotsReadable(t *testing.T) {
 	db, err := Open(Options{GCInterval: time.Millisecond})
 	if err != nil {
