@@ -2,15 +2,9 @@ package mvdb
 
 import (
 	"errors"
-	"fmt"
-	"os"
 
-	"mvdb/internal/storage"
-	"mvdb/internal/wal"
+	"mvdb/internal/core"
 )
-
-// snapPath is the snapshot file companion to a commit log.
-func snapPath(walPath string) string { return walPath + ".snap" }
 
 // Checkpoint writes a consistent snapshot of the database next to the
 // commit log (<WALPath>.snap), bounding recovery time: a later Open loads
@@ -19,106 +13,24 @@ func snapPath(walPath string) string { return walPath + ".snap" }
 // The snapshot is taken at the current visibility horizon (vtnc), which
 // by the Transaction Visibility Property is a fully committed prefix of
 // the serial order — so Checkpoint is safe to run concurrently with any
-// transaction load, one more dividend of the paper's design. The commit
-// log is not rewritten here; use CompactLog offline to drop the prefix
-// the snapshot covers.
+// transaction load, one more dividend of the paper's design. The write
+// is crash-atomic (temp file + fsync + rename + directory fsync): a
+// power cut at any instant leaves either the previous snapshot or the
+// new one, both intact. The commit log is not rewritten here; use
+// CompactLog offline to drop the prefix the snapshot covers.
 func (db *DB) Checkpoint() error {
 	if db.log == nil {
 		return errors.New("mvdb: Checkpoint requires Options.WALPath")
 	}
-	if err := db.log.Flush(); err != nil {
-		return err
-	}
-	sn := db.eng.VC().VTNC()
-	tmp := snapPath(db.walPath) + ".tmp"
-	w, err := wal.Create(tmp, wal.SyncNever)
-	if err != nil {
-		return err
-	}
-	// First record: the snapshot horizon, encoded as a record with no
-	// writes whose TN is the horizon.
-	if err := w.Append(wal.Record{TN: sn}); err != nil {
-		w.Close()
-		return err
-	}
-	var werr error
-	db.eng.Store().Range(func(key string, o *storage.Object) bool {
-		v, ok := o.ReadVisible(sn)
-		if !ok {
-			return true
-		}
-		werr = w.Append(wal.Record{TN: v.TN, Writes: []wal.Write{{
-			Key: key, Value: v.Data, Tombstone: v.Tombstone,
-		}}})
-		return werr == nil
-	})
-	if werr != nil {
-		w.Close()
-		os.Remove(tmp)
-		return werr
-	}
-	if err := w.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, snapPath(db.walPath))
-}
-
-// loadSnapshot reads a snapshot file, returning its horizon and the
-// per-key versions, or (0, nil, nil) if none exists.
-func loadSnapshot(path string) (horizon uint64, recs []wal.Record, err error) {
-	first := true
-	_, err = wal.Replay(path, func(r wal.Record) error {
-		if first {
-			first = false
-			horizon = r.TN
-			return nil
-		}
-		recs = append(recs, r)
-		return nil
-	})
-	if err != nil {
-		return 0, nil, err
-	}
-	return horizon, recs, nil
+	return db.eng.WriteSnapshot(nil, db.walPath)
 }
 
 // CompactLog rewrites the commit log at walPath, dropping every record
 // already covered by its snapshot (TN <= the snapshot horizon). It must
 // be run offline — with no DB open on the log — and is a no-op without a
-// snapshot.
+// snapshot. The replacement is crash-atomic: a crash mid-compaction
+// leaves either the full old log or the compacted one, never a hybrid,
+// and Open removes any stale temp file it finds.
 func CompactLog(walPath string) error {
-	horizon, _, err := loadSnapshot(snapPath(walPath))
-	if err != nil {
-		return fmt.Errorf("mvdb: compact: read snapshot: %w", err)
-	}
-	if horizon == 0 {
-		return nil
-	}
-	var keep []wal.Record
-	if _, err := wal.Replay(walPath, func(r wal.Record) error {
-		if r.TN > horizon {
-			keep = append(keep, r)
-		}
-		return nil
-	}); err != nil {
-		return fmt.Errorf("mvdb: compact: read log: %w", err)
-	}
-	tmp := walPath + ".compact.tmp"
-	w, err := wal.Create(tmp, wal.SyncNever)
-	if err != nil {
-		return err
-	}
-	for _, r := range keep {
-		if err := w.Append(r); err != nil {
-			w.Close()
-			os.Remove(tmp)
-			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, walPath)
+	return core.Compact(nil, walPath)
 }

@@ -27,6 +27,11 @@ import (
 // results there in addition to printing tables.
 var jsonOut string
 
+// minSpeedup is set by the -minspeedup flag: when positive, bench3
+// exits nonzero if group commit fails to beat the seed configuration by
+// this factor — the CI regression gate for the commit path.
+var minSpeedup float64
+
 // benchDoc is the top-level JSON document.
 type benchDoc struct {
 	Schema  string        `json:"schema"`
@@ -166,7 +171,12 @@ func runBench3(quick bool) {
 	}
 	fmt.Print(tb.String())
 	if seedTPS > 0 {
-		fmt.Printf("\ngroup-commit speedup over seed: %.2fx\n", groupTPS/seedTPS)
+		speedup := groupTPS / seedTPS
+		fmt.Printf("\ngroup-commit speedup over seed: %.2fx\n", speedup)
+		if minSpeedup > 0 && speedup < minSpeedup {
+			fmt.Fprintf(os.Stderr, "FAIL: group-commit speedup %.2fx below the %.2fx bar\n", speedup, minSpeedup)
+			os.Exit(1)
+		}
 	}
 
 	if jsonOut != "" {

@@ -31,10 +31,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "smaller runs (CI-sized)")
 		stats   = flag.Bool("stats", false, "print the engine's full stats snapshot after each run")
 		jsonOpt = flag.String("json", "", "bench3: also write machine-readable results (mvdb-bench/v1) to this file")
+		minSpd  = flag.Float64("minspeedup", 0, "bench3: exit 1 if group-commit speedup over the seed configuration is below this")
 	)
 	flag.Parse()
 	showStats = *stats
 	jsonOut = *jsonOpt
+	minSpeedup = *minSpd
 
 	experiments := []struct {
 		id   string

@@ -367,33 +367,7 @@ func Recover(path string, opts Options) (*Engine, int64, error) {
 // installed verbatim (their TNs must not exceed horizon unless horizon is
 // zero).
 func Restore(base []wal.Record, horizon uint64, path string, opts Options) (*Engine, int64, error) {
-	e := New(opts)
-	maxTN := horizon
-	install := func(r wal.Record) {
-		for _, w := range r.Writes {
-			e.store.GetOrCreate(w.Key).InstallCommitted(storage.Version{
-				TN: r.TN, Data: w.Value, Tombstone: w.Tombstone,
-			})
-		}
-		if r.TN > maxTN {
-			maxTN = r.TN
-		}
-	}
-	for _, r := range base {
-		install(r)
-	}
-	validLen, err := wal.Replay(path, func(r wal.Record) error {
-		if r.TN <= horizon {
-			return nil // covered by the base snapshot
-		}
-		install(r)
-		return nil
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	e.vc = vc.New(maxTN)
-	return e, validLen, nil
+	return RestoreFS(nil, base, horizon, path, opts)
 }
 
 // SetWAL attaches a log writer (used after Recover + OpenAppend). It must

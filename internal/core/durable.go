@@ -1,0 +1,256 @@
+// Durable open/checkpoint/compaction paths: everything in this file
+// replaces a precious file only by the crash-atomic sequence
+//
+//	write temp file -> fsync temp -> rename over final -> fsync directory
+//
+// and reads it back through the same faultfs shim it was written
+// through, so the crash-torture harness (internal/crashtest) can cut
+// power at every one of these operations and recovery still satisfies
+// the dual oracle: acknowledged commits survive, recovered state is a
+// committed prefix.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"mvdb/internal/faultfs"
+	"mvdb/internal/storage"
+	"mvdb/internal/vc"
+	"mvdb/internal/wal"
+)
+
+// SnapPath returns the snapshot file companion to a commit log.
+func SnapPath(walPath string) string { return walPath + ".snap" }
+
+// snapTmpPath and compactTmpPath are the scratch files of the two
+// atomic-replace sequences; OpenDurable removes stale ones (a crash
+// between their creation and the rename leaves them behind).
+func snapTmpPath(walPath string) string    { return SnapPath(walPath) + ".tmp" }
+func compactTmpPath(walPath string) string { return walPath + ".compact.tmp" }
+
+// DurableOptions configures OpenDurable beyond the engine options.
+type DurableOptions struct {
+	// FS is the filesystem every durability-path operation goes through.
+	// Nil selects the production passthrough (faultfs.OS); the crash
+	// harness injects a faultfs.FaultFS.
+	FS faultfs.FS
+	// WAL configures the reopened commit log (sync policy, group-commit
+	// batching). WAL.FS is overridden with FS above.
+	WAL wal.Options
+}
+
+// OpenDurable recovers an engine from the commit log at walPath (plus
+// its snapshot, if one exists) and reopens the log for appending, with
+// the log writer already attached to the engine. This is the one
+// recovery entry point: mvdb.Open and the crash harness both use it, so
+// the code path the torture tests exercise is the production one.
+//
+// Recovery is idempotent: stale temp files from an interrupted
+// checkpoint or compaction are removed, the torn log tail (if any) is
+// truncated and the truncation fsynced before the first new append is
+// accepted.
+func OpenDurable(walPath string, coreOpts Options, d DurableOptions) (*Engine, *wal.Writer, error) {
+	fsys := d.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	// A crash between temp-file creation and rename leaves the temp
+	// behind; it is garbage by construction (the rename never happened,
+	// so the final file is still authoritative).
+	for _, tmp := range []string{snapTmpPath(walPath), compactTmpPath(walPath)} {
+		if _, err := fsys.Stat(tmp); err == nil {
+			if err := fsys.Remove(tmp); err != nil {
+				return nil, nil, fmt.Errorf("core: remove stale %s: %w", tmp, err)
+			}
+		}
+	}
+	horizon, snapRecs, err := LoadSnapshot(fsys, SnapPath(walPath))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read snapshot: %w", err)
+	}
+	e, validLen, err := RestoreFS(fsys, snapRecs, horizon, walPath, coreOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: recover: %w", err)
+	}
+	walOpts := d.WAL
+	walOpts.FS = fsys
+	log, err := wal.OpenAppendWith(walPath, validLen, walOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: open log: %w", err)
+	}
+	if err := e.SetWAL(log); err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	return e, log, nil
+}
+
+// LoadSnapshot reads a snapshot file through fsys (nil = faultfs.OS),
+// returning its horizon and per-key versions, or (0, nil, nil) if none
+// exists.
+func LoadSnapshot(fsys faultfs.FS, path string) (horizon uint64, recs []wal.Record, err error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	first := true
+	validLen, err := wal.ReplayFS(fsys, path, func(r wal.Record) error {
+		if first {
+			first = false
+			horizon = r.TN
+			return nil
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	// Snapshots are only ever produced whole (temp + fsync + rename +
+	// dir fsync), so a torn tail here means the file is damaged in a way
+	// our own crash windows cannot produce. Refusing it is the only safe
+	// answer: silently restoring a partial snapshot would drop keys the
+	// compacted log no longer carries.
+	if fi, serr := fsys.Stat(path); serr == nil && fi.Size() != validLen {
+		return 0, nil, fmt.Errorf("core: snapshot %s torn or corrupt (%d of %d bytes intact)", path, validLen, fi.Size())
+	}
+	return horizon, recs, nil
+}
+
+// RestoreFS is Restore reading the log through an explicit filesystem —
+// crash recovery replays through the same shim the writer wrote through.
+func RestoreFS(fsys faultfs.FS, base []wal.Record, horizon uint64, path string, opts Options) (*Engine, int64, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	e := New(opts)
+	maxTN := horizon
+	install := func(r wal.Record) {
+		for _, w := range r.Writes {
+			e.store.GetOrCreate(w.Key).InstallCommitted(storage.Version{
+				TN: r.TN, Data: w.Value, Tombstone: w.Tombstone,
+			})
+		}
+		if r.TN > maxTN {
+			maxTN = r.TN
+		}
+	}
+	for _, r := range base {
+		install(r)
+	}
+	validLen, err := wal.ReplayFS(fsys, path, func(r wal.Record) error {
+		if r.TN <= horizon {
+			return nil // covered by the base snapshot
+		}
+		install(r)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	e.vc = vc.New(maxTN)
+	return e, validLen, nil
+}
+
+// WriteSnapshot writes a consistent snapshot of the engine's committed
+// state at the current visibility horizon (vtnc) to SnapPath(walPath),
+// crash-atomically: the snapshot content is fsynced in a temp file
+// before a rename installs it, and the parent directory is fsynced
+// after, so at every instant exactly one intact snapshot (the old or
+// the new) is durable. The horizon is a fully committed prefix of the
+// serial order by the Transaction Visibility Property, so this runs
+// safely under any concurrent transaction load.
+func (e *Engine) WriteSnapshot(fsys faultfs.FS, walPath string) error {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if e.opts.WAL != nil {
+		// The log must durably cover everything the snapshot claims
+		// (records <= horizon are skipped on restore only when the
+		// snapshot supplies them).
+		if err := e.opts.WAL.Flush(); err != nil {
+			return err
+		}
+	}
+	sn := e.vc.VTNC()
+	final := SnapPath(walPath)
+	tmp := snapTmpPath(walPath)
+	recs := make([]wal.Record, 0, 64)
+	recs = append(recs, wal.Record{TN: sn}) // first record: the horizon
+	e.store.Range(func(key string, o *storage.Object) bool {
+		v, ok := o.ReadVisible(sn)
+		if !ok {
+			return true
+		}
+		recs = append(recs, wal.Record{TN: v.TN, Writes: []wal.Write{{
+			Key: key, Value: v.Data, Tombstone: v.Tombstone,
+		}}})
+		return true
+	})
+	return atomicWriteLog(fsys, tmp, final, recs)
+}
+
+// Compact rewrites the commit log at walPath through fsys (nil =
+// faultfs.OS), dropping every record already covered by its snapshot
+// (TN <= the snapshot horizon). It must run offline — no engine open on
+// the log — and is a no-op without a snapshot. The replacement is
+// crash-atomic by the same temp+fsync+rename+dirsync sequence as
+// WriteSnapshot: a crash anywhere leaves either the full old log or the
+// compacted one, never a hybrid.
+func Compact(fsys faultfs.FS, walPath string) error {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	horizon, _, err := LoadSnapshot(fsys, SnapPath(walPath))
+	if err != nil {
+		return fmt.Errorf("core: compact: read snapshot: %w", err)
+	}
+	if horizon == 0 {
+		return nil
+	}
+	var keep []wal.Record
+	if _, err := wal.ReplayFS(fsys, walPath, func(r wal.Record) error {
+		if r.TN > horizon {
+			keep = append(keep, r)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("core: compact: read log: %w", err)
+	}
+	return atomicWriteLog(fsys, compactTmpPath(walPath), walPath, keep)
+}
+
+// atomicWriteLog writes recs as a log file at final via the
+// crash-atomic replace sequence: create tmp, append, fsync (the log
+// writer's Close), rename over final, fsync the parent directory. On
+// any error the temp file is removed best-effort.
+func atomicWriteLog(fsys faultfs.FS, tmp, final string, recs []wal.Record) error {
+	w, err := wal.CreateWith(tmp, wal.Options{Policy: wal.SyncNever, FS: fsys})
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			w.Close()
+			return fail(err)
+		}
+	}
+	// Close flushes and fsyncs: the content is durable before the rename
+	// can make it reachable under the final name.
+	if err := w.Close(); err != nil {
+		return fail(err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return fail(err)
+	}
+	// Without this, the rename's directory entry may not survive a power
+	// cut — the file would silently revert to the old version.
+	if err := fsys.SyncDir(filepath.Dir(final)); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package crashtest is the crash-recovery torture harness: it drives
+// the real engine (every protocol, group commit on and off) through
+// workloads over a fault-injecting filesystem (internal/faultfs), cuts
+// power at injected points, recovers from the surviving bytes, and
+// asserts the dual oracle:
+//
+//  1. Durability — every commit acknowledged to a client is present
+//     after recovery (per key, the latest acknowledged write is covered
+//     by a version at least as new, matching exactly when the TNs are
+//     equal).
+//  2. Correctness — the recovered state is a committed prefix: every
+//     version traces back to an attempted commit (nothing fabricated,
+//     no dirty versions), storage invariants hold, the version-control
+//     counters resume exactly at the recovered horizon (vtnc = max TN,
+//     tnc = max TN + 1), the recovered write history is MVSG-acyclic,
+//     and the engine keeps serving serializable transactions (checked
+//     with internal/history and internal/audit).
+//
+// Two drivers share the oracle: an exhaustive deterministic sweep that
+// crashes a scripted scenario at every mutating filesystem operation
+// (Sweep), and a seeded randomized torture loop for long runs
+// (Torture, wrapped by cmd/mvtorture).
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/history"
+	"mvdb/internal/storage"
+)
+
+// Mut is one key's mutation inside a commit attempt.
+type Mut struct {
+	Value  string
+	Delete bool
+}
+
+type ackedWrite struct {
+	tn        uint64
+	value     string
+	tombstone bool
+}
+
+// Oracle records every commit attempt and acknowledgement so recovery
+// can be audited. Safe for concurrent use.
+type Oracle struct {
+	mu        sync.Mutex
+	attempted map[string]map[string]bool // key -> values any attempt wrote
+	deleted   map[string]bool            // keys some attempt deleted
+	acked     map[string]ackedWrite      // key -> acknowledged write with the largest TN
+	attempts  int
+	acks      int
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{
+		attempted: make(map[string]map[string]bool),
+		deleted:   make(map[string]bool),
+		acked:     make(map[string]ackedWrite),
+	}
+}
+
+// Attempt registers a commit attempt BEFORE it executes: whatever of it
+// survives a crash must be explainable by this registration.
+func (o *Oracle) Attempt(muts map[string]Mut) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.attempts++
+	for k, m := range muts {
+		if m.Delete {
+			o.deleted[k] = true
+			continue
+		}
+		set := o.attempted[k]
+		if set == nil {
+			set = make(map[string]bool)
+			o.attempted[k] = set
+		}
+		set[m.Value] = true
+	}
+}
+
+// Ack records that a commit attempt was acknowledged to the client with
+// transaction number tn. From this instant the write set must survive
+// any crash.
+func (o *Oracle) Ack(tn uint64, muts map[string]Mut) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.acks++
+	for k, m := range muts {
+		if prev, ok := o.acked[k]; !ok || tn > prev.tn {
+			o.acked[k] = ackedWrite{tn: tn, value: m.Value, tombstone: m.Delete}
+		}
+	}
+}
+
+// Acks returns the number of acknowledged commits so far.
+func (o *Oracle) Acks() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.acks
+}
+
+// Attempts returns the number of commit attempts so far.
+func (o *Oracle) Attempts() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.attempts
+}
+
+// Check audits a freshly recovered engine (no transactions run on it
+// yet) against everything recorded. It returns the first violation of
+// the dual oracle, nil if the recovered state is sound.
+func (o *Oracle) Check(e *core.Engine) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	var maxTN uint64
+	byTN := make(map[uint64][]history.Op)
+	var fail error
+	e.Store().Range(func(key string, obj *storage.Object) bool {
+		if err := obj.CheckInvariants(); err != nil {
+			fail = fmt.Errorf("storage invariants on %q: %w", key, err)
+			return false
+		}
+		if n := obj.PendingCount(); n != 0 {
+			fail = fmt.Errorf("key %q recovered with %d dirty (pending) versions", key, n)
+			return false
+		}
+		for _, v := range obj.Versions() {
+			if v.TN == 0 {
+				continue // bootstrap state
+			}
+			if v.TN > maxTN {
+				maxTN = v.TN
+			}
+			byTN[v.TN] = append(byTN[v.TN], history.Op{Key: key, VersionTN: v.TN})
+			switch {
+			case v.Tombstone:
+				if !o.deleted[key] {
+					fail = fmt.Errorf("key %q recovered a tombstone (tn %d) no attempt produced", key, v.TN)
+					return false
+				}
+			case !o.attempted[key][string(v.Data)]:
+				fail = fmt.Errorf("key %q recovered fabricated value %q (tn %d)", key, v.Data, v.TN)
+				return false
+			}
+		}
+		if a, ok := o.acked[key]; ok {
+			lv, lok := obj.LatestCommitted()
+			if !lok {
+				fail = fmt.Errorf("durability violation: key %q lost entirely (acked write tn %d)", key, a.tn)
+				return false
+			}
+			if lv.TN < a.tn {
+				fail = fmt.Errorf("durability violation: key %q recovered at tn %d, older than acked tn %d", key, lv.TN, a.tn)
+				return false
+			}
+			if lv.TN == a.tn && (lv.Tombstone != a.tombstone || (!a.tombstone && string(lv.Data) != a.value)) {
+				fail = fmt.Errorf("durability violation: key %q at acked tn %d recovered %q/%v, acked %q/%v",
+					key, a.tn, lv.Data, lv.Tombstone, a.value, a.tombstone)
+				return false
+			}
+		}
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+
+	// Version-control counters must resume exactly at the recovered
+	// horizon: everything recovered is visible (vtnc = max TN) and the
+	// next transaction number is just past it (tnc = max TN + 1), the
+	// vtnc <= tnc invariant in its tightest post-recovery form.
+	if got := e.VC().VTNC(); got != maxTN {
+		return fmt.Errorf("vtnc after recovery = %d, want max recovered tn %d", got, maxTN)
+	}
+	if got := e.VC().TNC(); got != maxTN+1 {
+		return fmt.Errorf("tnc after recovery = %d, want %d", got, maxTN+1)
+	}
+
+	// The recovered write history must be installable as an acyclic
+	// MVSG: one committed writer per version, no version 0, no cycles.
+	tns := make([]uint64, 0, len(byTN))
+	for tn := range byTN {
+		tns = append(tns, tn)
+	}
+	sort.Slice(tns, func(i, j int) bool { return tns[i] < tns[j] })
+	g := history.NewGraph(history.Strict)
+	for _, tn := range tns {
+		if err := g.AddWrites(history.TxHistory{ID: tn, TN: tn, Writes: byTN[tn]}); err != nil {
+			return fmt.Errorf("recovered history rejected: %w", err)
+		}
+	}
+	if cyc := g.FindCycle(); cyc != nil {
+		return fmt.Errorf("recovered history has an MVSG cycle: %v", cyc)
+	}
+	return nil
+}
+
+// CommitAttempt runs one read-write transaction applying muts,
+// registering the attempt before it starts and the acknowledgement
+// after Commit returns nil. The returned error is the engine's
+// (retryable conflicts included — the caller decides whether to retry).
+func CommitAttempt(e *core.Engine, o *Oracle, muts map[string]Mut) (uint64, error) {
+	o.Attempt(muts)
+	tx, err := e.Begin(engine.ReadWrite)
+	if err != nil {
+		return 0, err
+	}
+	for k, m := range muts {
+		if m.Delete {
+			err = tx.Delete(k)
+		} else {
+			err = tx.Put(k, []byte(m.Value))
+		}
+		if err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	tn, _ := tx.SN()
+	o.Ack(tn, muts)
+	return tn, nil
+}

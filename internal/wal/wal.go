@@ -31,10 +31,13 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mvdb/internal/faultfs"
 )
 
 // Write is one key's update inside a commit record.
@@ -84,6 +87,10 @@ type Options struct {
 	// record — so concurrent committers always coalesce — then fsyncs
 	// without any timer wait.
 	BatchMaxDelay time.Duration
+	// FS is the filesystem the writer operates through. Nil selects the
+	// production passthrough (faultfs.OS); the crash-torture harness
+	// injects a faultfs.FaultFS here.
+	FS faultfs.FS
 }
 
 // DefaultBatchMaxRecords bounds the gathering delay of a SyncBatch
@@ -97,7 +104,7 @@ const DefaultBatchMaxRecords = 128
 // fsyncs inline.
 type Writer struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      faultfs.File
 	bw     *bufio.Writer
 	opts   Options
 	closed bool
@@ -106,11 +113,11 @@ type Writer struct {
 	// records written into bw; syncSeq counts records covered by a
 	// completed fsync; syncErr is sticky — once an fsync fails, the
 	// writer is broken and every waiter and later Append reports it.
-	enqSeq   uint64
-	syncSeq  uint64
-	syncErr  error
-	synced   *sync.Cond // broadcast when syncSeq advances, syncErr sets, or the writer closes
-	wake     *sync.Cond // wakes the flusher when work arrives or the writer closes
+	enqSeq      uint64
+	syncSeq     uint64
+	syncErr     error
+	synced      *sync.Cond // broadcast when syncSeq advances, syncErr sets, or the writer closes
+	wake        *sync.Cond // wakes the flusher when work arrives or the writer closes
 	flusherDone chan struct{}
 
 	appends atomic.Uint64
@@ -142,7 +149,7 @@ func (w *Writer) SetBatchObserver(fn func(records int)) {
 	w.onBatch = fn
 }
 
-func newWriter(f *os.File, opts Options) *Writer {
+func newWriter(f faultfs.File, opts Options) *Writer {
 	if opts.BatchMaxRecords <= 0 {
 		opts.BatchMaxRecords = DefaultBatchMaxRecords
 	}
@@ -162,11 +169,22 @@ func Create(path string, policy SyncPolicy) (*Writer, error) {
 }
 
 // CreateWith opens (or truncates) a log file for writing with full
-// options.
+// options. The parent directory is fsynced after the create so the
+// file's directory entry is durable before the first commit is
+// acknowledged — a data fsync alone does not guarantee a freshly
+// created file survives a power cut.
 func CreateWith(path string, opts Options) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: create: sync dir: %w", err)
 	}
 	return newWriter(f, opts), nil
 }
@@ -178,15 +196,30 @@ func OpenAppend(path string, validLen int64, policy SyncPolicy) (*Writer, error)
 	return OpenAppendWith(path, validLen, Options{Policy: policy})
 }
 
-// OpenAppendWith is OpenAppend with full options.
+// OpenAppendWith is OpenAppend with full options. The torn-tail
+// truncation is fsynced (file and parent directory) before the writer
+// accepts new appends, so a second crash cannot resurrect the tail
+// under records appended after it.
 func OpenAppendWith(path string, validLen int64, opts Options) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	if err := f.Truncate(validLen); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync truncated tail: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open: sync dir: %w", err)
 	}
 	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
 		f.Close()
@@ -449,7 +482,13 @@ func decodePayload(p []byte) (Record, error) {
 // — the validLen to pass to OpenAppend — and stops silently at a torn or
 // corrupt tail. A missing file replays zero records.
 func Replay(path string, fn func(Record) error) (validLen int64, err error) {
-	f, err := os.Open(path)
+	return ReplayFS(faultfs.OS, path, fn)
+}
+
+// ReplayFS is Replay through an explicit filesystem (crash-torture
+// recovery reads through the same shim the writer wrote through).
+func ReplayFS(fsys faultfs.FS, path string, fn func(Record) error) (validLen int64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, nil

@@ -299,23 +299,11 @@ func Open(opts Options) (*DB, error) {
 		case opts.SyncEveryCommit:
 			walOpts.Policy = wal.SyncEveryCommit
 		}
-		horizon, snapRecs, err := loadSnapshot(snapPath(opts.WALPath))
-		if err != nil {
-			return fail(fmt.Errorf("mvdb: read snapshot: %w", err))
-		}
-		recovered, validLen, err := core.Restore(snapRecs, horizon, opts.WALPath, coreOpts)
+		recovered, logW, err := core.OpenDurable(opts.WALPath, coreOpts, core.DurableOptions{WAL: walOpts})
 		if err != nil {
 			return fail(fmt.Errorf("mvdb: recover: %w", err))
 		}
-		log, err = wal.OpenAppendWith(opts.WALPath, validLen, walOpts)
-		if err != nil {
-			return fail(fmt.Errorf("mvdb: open log: %w", err))
-		}
-		if err := recovered.SetWAL(log); err != nil {
-			log.Close()
-			return fail(err)
-		}
-		eng = recovered
+		eng, log = recovered, logW
 	} else {
 		eng = core.New(coreOpts)
 	}
