@@ -7,6 +7,8 @@ package mvdb
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -484,6 +486,59 @@ func BenchmarkUpdateTxnAudited(b *testing.B) {
 	if n := db.Audit().Dropped(); n > 0 {
 		b.Logf("audit dropped %d events", n)
 	}
+}
+
+// BenchmarkUpdateTxnPhased is BenchmarkUpdateTxn with per-transaction
+// phase timing enabled — the delta is the cost of the attribution layer
+// on the commit path (a handful of clock reads and lock-free histogram
+// records per transaction; experiment O3).
+func BenchmarkUpdateTxnPhased(b *testing.B) {
+	db, err := Open(Options{Protocol: TwoPhaseLocking, PhaseTiming: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			return tx.Put("k", []byte("v"))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateDurableGroup and its Phased twin measure attribution
+// overhead where attribution is for: the durable group-commit path
+// (experiment O3). Parallel committers share fsync batches; the phase
+// timer's clock reads amortize against real I/O waiting.
+func BenchmarkUpdateDurableGroup(b *testing.B)       { benchDurableGroup(b, false) }
+func BenchmarkUpdateDurableGroupPhased(b *testing.B) { benchDurableGroup(b, true) }
+
+func benchDurableGroup(b *testing.B, phased bool) {
+	db, err := Open(Options{
+		Protocol:    TwoPhaseLocking,
+		WALPath:     filepath.Join(b.TempDir(), "commit.log"),
+		GroupCommit: true,
+		PhaseTiming: phased,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			key := fmt.Sprintf("k%d", ctr.Add(1)%64)
+			if err := db.Update(func(tx *Tx) error {
+				return tx.Put(key, []byte("v"))
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkViewTxn measures the public API's View path end to end.

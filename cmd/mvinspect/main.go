@@ -10,10 +10,16 @@
 // commits and aborts by cause, lock/WAL/GC substrate counters, the
 // paper's visibility gauges — with per-second deltas between polls.
 //
+// With -bundle it renders a flight-recorder postmortem bundle (written
+// by mvdb.Options.FlightDir on an audit alarm, /debug/mvdb/dump, or a
+// torture-test violation): phase-attribution table, headline counters,
+// last alarms, the waits-for graph, and the trace tail.
+//
 // Usage:
 //
 //	mvinspect [-v] [-key <filter>] <commit.log | commit.log.snap>
 //	mvinspect -live <host:port> [-interval 1s] [-count N]
+//	mvinspect -bundle <flight-000001-reason.json>
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"mvdb/internal/flight"
 	"mvdb/internal/metrics"
 	"mvdb/internal/wal"
 )
@@ -34,14 +41,24 @@ func main() {
 		live     = flag.String("live", "", "poll a running database's debug endpoint (host:port) instead of reading a log")
 		interval = flag.Duration("interval", time.Second, "poll interval with -live")
 		count    = flag.Int("count", 0, "number of polls with -live (0 = until interrupted)")
+		bundle   = flag.String("bundle", "", "render a flight-recorder postmortem bundle instead of reading a log")
 	)
 	flag.Parse()
 	if *live != "" {
 		runLive(*live, *interval, *count)
 		return
 	}
+	if *bundle != "" {
+		b, err := flight.Load(*bundle)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		flight.Render(b, os.Stdout)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mvinspect [-v] [-key substr] <logfile>\n       mvinspect -live <host:port> [-interval 1s] [-count N]")
+		fmt.Fprintln(os.Stderr, "usage: mvinspect [-v] [-key substr] <logfile>\n       mvinspect -live <host:port> [-interval 1s] [-count N]\n       mvinspect -bundle <flight bundle.json>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)

@@ -12,10 +12,17 @@
 // The default runs the full engine matrix (three protocols, group
 // commit on and off) and splits the time budget evenly. Exit status is
 // 0 only if every configuration completes with zero oracle violations;
-// any violation prints the offending round and config and exits 1.
+// any violation prints the offending round and config and exits 1. On a
+// violation a flight-recorder postmortem bundle is written next to the
+// surviving state (render it with mvinspect -bundle).
+//
+// With -json the machine-readable verdict (one document for the whole
+// run, including per-configuration bundle paths) is written to the
+// given file, for CI to collect as an artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,30 @@ import (
 	"mvdb/internal/crashtest"
 )
 
+// verdict is the -json output document.
+type verdict struct {
+	Schema  string         `json:"schema"`
+	Seed    int64          `json:"seed"`
+	Elapsed time.Duration  `json:"elapsed_ns"`
+	Passed  bool           `json:"passed"`
+	Configs []configResult `json:"configs"`
+}
+
+type configResult struct {
+	Config string `json:"config"`
+	Seed   int64  `json:"seed"`
+	Pass   bool   `json:"pass"`
+	Error  string `json:"error,omitempty"`
+	Dir    string `json:"dir,omitempty"`
+	Bundle string `json:"bundle,omitempty"`
+
+	Rounds      int `json:"rounds"`
+	Crashes     int `json:"crashes"`
+	CleanRounds int `json:"clean_rounds"`
+	Acked       int `json:"acked"`
+	Attempts    int `json:"attempts"`
+}
+
 func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "base seed; each configuration derives its own from it")
@@ -35,6 +66,7 @@ func main() {
 		protocol = flag.String("protocol", "all", "2pl, to, occ, or all")
 		group    = flag.String("group", "auto", "group commit: on, off, or auto (both)")
 		dir      = flag.String("dir", "", "working directory (default: a fresh temp dir, removed on success)")
+		jsonOut  = flag.String("json", "", "write the machine-readable verdict to this file")
 		verbose  = flag.Bool("v", false, "log every round")
 	)
 	flag.Parse()
@@ -75,6 +107,7 @@ func main() {
 
 	start := time.Now()
 	failed := false
+	v := verdict{Schema: "mvtorture-verdict/v1", Seed: *seed}
 	for i, cfg := range configs {
 		opts := perConfig
 		opts.Seed = *seed + int64(i)*1000003
@@ -89,17 +122,40 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		opts.FlightDir = d
 		rep, err := crashtest.Torture(d, opts)
+		res := configResult{
+			Config: cfg.String(), Seed: opts.Seed, Pass: err == nil, Dir: d, Bundle: rep.Bundle,
+			Rounds: rep.Rounds, Crashes: rep.Crashes, CleanRounds: rep.CleanRounds,
+			Acked: rep.Acked, Attempts: rep.Attempts,
+		}
 		if err != nil {
+			res.Error = err.Error()
 			fmt.Fprintf(os.Stderr, "FAIL %s (seed %d): %v\n  after %d rounds (%d crashes), %d/%d commits acked; state kept in %s\n",
 				cfg, opts.Seed, err, rep.Rounds, rep.Crashes, rep.Acked, rep.Attempts, d)
+			if rep.Bundle != "" {
+				fmt.Fprintf(os.Stderr, "  postmortem: mvinspect -bundle %s\n", rep.Bundle)
+			}
 			failed = true
-			continue
+		} else {
+			fmt.Printf("PASS %s (seed %d): %d rounds, %d crashes, %d clean; %d/%d commits acked, zero violations\n",
+				cfg, opts.Seed, rep.Rounds, rep.Crashes, rep.CleanRounds, rep.Acked, rep.Attempts)
 		}
-		fmt.Printf("PASS %s (seed %d): %d rounds, %d crashes, %d clean; %d/%d commits acked, zero violations\n",
-			cfg, opts.Seed, rep.Rounds, rep.Crashes, rep.CleanRounds, rep.Acked, rep.Attempts)
+		v.Configs = append(v.Configs, res)
 	}
-	fmt.Printf("total: %d configurations in %v\n", len(configs), time.Since(start).Round(time.Millisecond))
+	v.Elapsed = time.Since(start)
+	v.Passed = !failed
+	fmt.Printf("total: %d configurations in %v\n", len(v.Configs), v.Elapsed.Round(time.Millisecond))
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing -json verdict: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

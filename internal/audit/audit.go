@@ -96,6 +96,12 @@ type Options struct {
 	Gauges func() (tnc, vtnc uint64)
 	// Logger receives one Warn line per alarm (nil: slog.Default()).
 	Logger *slog.Logger
+	// OnAlarm, when set, is called once per raised alarm on the
+	// auditor's consumer goroutine with internal state locked: it must
+	// be non-blocking (hand off to a channel — the flight recorder's
+	// TriggerAsync is the intended consumer) and must not call back
+	// into the auditor.
+	OnAlarm func(Alarm)
 }
 
 // Alarm is one detected anomaly.
@@ -517,6 +523,9 @@ func (a *Auditor) alarm(at int64, kind, msg string, txs []uint64) {
 	}
 	a.alarms = append(a.alarms, al)
 	a.log.Warn("mvdb audit alarm", "kind", kind, "seq", al.Seq, "message", msg)
+	if a.opts.OnAlarm != nil {
+		a.opts.OnAlarm(al)
+	}
 }
 
 // --- inspection ------------------------------------------------------

@@ -90,6 +90,14 @@ type Options struct {
 	// Recorder above) plus lock-wait events from the lock manager. Nil
 	// disables event tracing at zero cost; counters are always on.
 	Trace *obs.Tracer
+	// PhaseTiming enables per-transaction latency attribution: each
+	// protocol's separable phases (lock wait, reads, validation, WAL
+	// enqueue vs fsync wait, version install, register→visible lag)
+	// are timed into per-protocol histograms exposed via Snapshot.
+	// When false (the default) no phase state is allocated and every
+	// timing site reduces to one nil test — the disabled path keeps
+	// the seed's allocation profile.
+	PhaseTiming bool
 
 	// UnsafeEarlyRegister2PL is ablation A1: it makes the 2PL engine
 	// register transactions with version control at begin instead of at
@@ -122,7 +130,10 @@ type Engine struct {
 	// stats is the engine-wide observability registry (internal/obs):
 	// every lifecycle counter lives there, shared with the public
 	// Stats API and the /debug/mvdb endpoint.
-	stats           *obs.Stats
+	stats *obs.Stats
+	// phases is the latency-attribution matrix; nil unless
+	// Options.PhaseTiming (nil keeps every timing site to one nil test).
+	phases          *obs.PhaseStats
 	closed          atomic.Bool
 	bootstrapSealed atomic.Bool
 }
@@ -146,8 +157,15 @@ func New(opts Options) *Engine {
 	e.locks = lock.NewManagerStriped(opts.LockPolicy, opts.LockTimeout, opts.LockStripes)
 	e.locks.SetWaitObserver(func(txID uint64, key string, wait time.Duration) {
 		e.stats.LockWaitNanos.Record(wait.Nanoseconds())
+		// phases.Record is nil-safe; only 2PL transactions reach the
+		// lock manager, so the attribution row is fixed.
+		e.phases.Record(obs.Proto2PL, obs.PhaseLockWait, txID, wait)
 		opts.Trace.Record(obs.Event{Type: obs.EvLockWait, Tx: txID, Key: key, Dur: wait.Nanoseconds()})
 	})
+	if opts.PhaseTiming {
+		e.phases = obs.NewPhaseStats(opts.Trace)
+		e.observeVC()
+	}
 	e.protocol.Store(int32(opts.Protocol))
 	e.roActive.init()
 	if opts.WAL != nil {
@@ -162,6 +180,33 @@ func (e *Engine) attachWALObserver(w *wal.Writer) {
 	w.SetBatchObserver(func(records int) {
 		e.stats.WALBatchSize.Record(int64(records))
 	})
+}
+
+// observeVC wires the version-control module's register→visible lag
+// into the phase matrix. Called at construction and again whenever the
+// controller is replaced (recovery). The entry is attributed to the
+// protocol in force when it becomes visible — exact except across an
+// adaptive protocol switch, where a straggler may land one row over.
+func (e *Engine) observeVC() {
+	if e.phases == nil {
+		return
+	}
+	e.vc.SetVisibleObserver(func(tn uint64, d time.Duration) {
+		e.phases.Record(e.protoIdx(), obs.PhaseVisibleWait, tn, d)
+	})
+}
+
+// protoIdx maps the current protocol onto the phase matrix's row. The
+// first three obs.ProtoIdx values mirror Protocol's ordering, asserted
+// at init below.
+func (e *Engine) protoIdx() obs.ProtoIdx { return obs.ProtoIdx(e.protocol.Load()) }
+
+func init() {
+	if obs.Proto2PL != obs.ProtoIdx(TwoPhaseLocking) ||
+		obs.ProtoTO != obs.ProtoIdx(TimestampOrdering) ||
+		obs.ProtoOCC != obs.ProtoIdx(Optimistic) {
+		panic("core: obs.ProtoIdx ordering diverged from core.Protocol")
+	}
 }
 
 // Name implements engine.Engine.
@@ -250,7 +295,15 @@ func (e *Engine) BeginReadOnlyAt(sn uint64) (engine.Tx, error) {
 	e.bootstrapSealed.Store(true)
 	if e.vc.VTNC() < sn {
 		e.stats.RecencyWaits.Inc()
-		e.vc.WaitVisible(sn)
+		if ph := e.phases; ph != nil {
+			start := time.Now()
+			e.vc.WaitVisible(sn)
+			// The RO row's visible-wait is the Section 6 recency wait:
+			// how long a pinned read-only begin stalled for visibility.
+			ph.Record(obs.ProtoRO, obs.PhaseVisibleWait, 0, time.Since(start))
+		} else {
+			e.vc.WaitVisible(sn)
+		}
 	}
 	return e.beginReadOnly(e.ids.Add(1), sn), nil
 }
@@ -259,6 +312,14 @@ func (e *Engine) BeginReadOnlyAt(sn uint64) (engine.Tx, error) {
 // public API, the adaptive engine) can count events that happen above
 // this layer — Update retries, GC passes — into the same snapshot.
 func (e *Engine) Obs() *obs.Stats { return e.stats }
+
+// Phases exposes the latency-attribution matrix (nil unless
+// Options.PhaseTiming).
+func (e *Engine) Phases() *obs.PhaseStats { return e.phases }
+
+// LockWaitGraph exports the lock manager's current waits-for graph (the
+// flight recorder's postmortem bundles include it).
+func (e *Engine) LockWaitGraph() lock.WaitGraph { return e.locks.WaitGraph() }
 
 // Snapshot assembles the full observability snapshot: registry
 // counters, lock-manager and WAL substrate counters, version-control
@@ -304,6 +365,7 @@ func (e *Engine) Snapshot() obs.Snapshot {
 		sn.MeanVersionChain = float64(versions) / float64(keys)
 	}
 	sn.StoreWaits = int64(e.store.TotalWaits())
+	sn.Phases = e.phases.Summaries()
 	if e.opts.WAL != nil {
 		a, f, b := e.opts.WAL.Counters()
 		sn.WALAppends = int64(a)
@@ -339,14 +401,25 @@ func (e *Engine) MinActiveReadOnlySN() (uint64, bool) {
 
 // appendWAL logs a committed write set ahead of installation. A log
 // failure is returned to the caller, whose transaction must abort: a
-// commit that is not durable must not become visible.
-func (e *Engine) appendWAL(tn uint64, buf map[string]bufWrite) error {
+// commit that is not durable must not become visible. With phase timing
+// on, the append is split into its two separable costs — getting the
+// record into the log buffer vs waiting for fsync coverage (the
+// group-commit ticket wait under SyncBatch) — attributed to proto/txID.
+func (e *Engine) appendWAL(proto obs.ProtoIdx, txID, tn uint64, buf map[string]bufWrite) error {
 	if e.opts.WAL == nil {
 		return nil
 	}
 	rec := wal.Record{TN: tn, Writes: make([]wal.Write, 0, len(buf))}
 	for k, w := range buf {
 		rec.Writes = append(rec.Writes, wal.Write{Key: k, Value: w.data, Tombstone: w.tombstone})
+	}
+	if ph := e.phases; ph != nil {
+		ph.PprofEnter(proto, obs.PhaseFsyncWait)
+		enq, syncWait, err := e.opts.WAL.AppendTimed(rec)
+		ph.PprofExit()
+		ph.Record(proto, obs.PhaseWALEnqueue, txID, time.Duration(enq))
+		ph.Record(proto, obs.PhaseFsyncWait, txID, time.Duration(syncWait))
+		return err
 	}
 	return e.opts.WAL.Append(rec)
 }

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"mvdb/internal/faultfs"
@@ -149,6 +150,7 @@ func RestoreFS(fsys faultfs.FS, base []wal.Record, horizon uint64, path string, 
 		return nil, 0, err
 	}
 	e.vc = vc.New(maxTN)
+	e.observeVC() // the replaced controller needs the phase observer rewired
 	return e, validLen, nil
 }
 
@@ -218,6 +220,43 @@ func Compact(fsys faultfs.FS, walPath string) error {
 		return fmt.Errorf("core: compact: read log: %w", err)
 	}
 	return atomicWriteLog(fsys, compactTmpPath(walPath), walPath, keep)
+}
+
+// AtomicReplace writes data to final through fsys (nil = faultfs.OS)
+// via the same crash-atomic replace sequence as the checkpoint path:
+// write a temp file, fsync it, rename over final, fsync the parent
+// directory. At every instant either the old file or the whole new one
+// is durable under the final name — never a hybrid. The flight
+// recorder writes its postmortem bundles through this.
+func AtomicReplace(fsys faultfs.FS, final string, data []byte) error {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	tmp := final + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(final))
 }
 
 // atomicWriteLog writes recs as a log file at final via the

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mvdb/internal/engine"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 )
 
@@ -37,6 +39,19 @@ func (e *Engine) beginOptimistic(id uint64) *occTx {
 // Get implements engine.Tx: optimistic read of the latest committed
 // version, with no synchronization.
 func (t *occTx) Get(key string) ([]byte, error) {
+	ph := t.e.phases
+	if ph == nil {
+		return t.get(key)
+	}
+	ph.PprofEnter(obs.ProtoOCC, obs.PhaseRead)
+	start := time.Now()
+	v, err := t.get(key)
+	ph.Record(obs.ProtoOCC, obs.PhaseRead, t.id, time.Since(start))
+	ph.PprofExit()
+	return v, err
+}
+
+func (t *occTx) get(key string) ([]byte, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
@@ -95,6 +110,16 @@ func (t *occTx) Commit() error {
 	t.done = true
 
 	e := t.e
+	ph := e.phases
+	// The validate span covers entering the critical section (waiting
+	// out other validators), the read-set check, and registration — the
+	// serial-order-fixing stretch that Larson et al. identify as OCC's
+	// throughput ceiling.
+	var tVal time.Time
+	if ph != nil {
+		ph.PprofEnter(obs.ProtoOCC, obs.PhaseValidate)
+		tVal = time.Now()
+	}
 	e.valMu.Lock()
 	for key, seenTN := range t.readSet {
 		cur := uint64(0)
@@ -103,6 +128,10 @@ func (t *occTx) Commit() error {
 		}
 		if cur != seenTN {
 			e.valMu.Unlock()
+			if ph != nil {
+				ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, time.Since(tVal))
+				ph.PprofExit()
+			}
 			e.stats.AbortsConflict.Inc()
 			e.rec.RecordAbort(t.id)
 			return engine.ErrConflict
@@ -110,16 +139,29 @@ func (t *occTx) Commit() error {
 	}
 	entry := e.vc.Register()
 	t.tn = entry.TN()
-	if err := e.appendWAL(t.tn, t.buf); err != nil {
+	if ph != nil {
+		ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, time.Since(tVal))
+		ph.PprofExit()
+	}
+	if err := e.appendWAL(obs.ProtoOCC, t.id, t.tn, t.buf); err != nil {
 		e.vc.Discard(entry)
 		e.valMu.Unlock()
 		e.rec.RecordAbort(t.id)
 		return fmt.Errorf("core: commit log: %w", err)
 	}
+	var tIns time.Time
+	if ph != nil {
+		ph.PprofEnter(obs.ProtoOCC, obs.PhaseInstall)
+		tIns = time.Now()
+	}
 	for key, w := range t.buf {
 		o := e.store.GetOrCreate(key)
 		o.InstallCommitted(storage.Version{TN: t.tn, Data: w.data, Tombstone: w.tombstone})
 		e.rec.RecordWrite(t.id, key, t.tn)
+	}
+	if ph != nil {
+		ph.Record(obs.ProtoOCC, obs.PhaseInstall, t.id, time.Since(tIns))
+		ph.PprofExit()
 	}
 	e.valMu.Unlock()
 

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"mvdb/internal/engine"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 )
 
@@ -45,8 +48,23 @@ func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
 
 // Get implements engine.Tx: "return x_j with largest version <= sn(T)".
 // Every version at or below sn is committed (Transaction Visibility
-// Property), so the read requires no synchronization whatsoever.
+// Property), so the read requires no synchronization whatsoever. The
+// phase timer's RO read row exists to prove exactly that: its samples
+// should sit at memory-access latency regardless of write load.
 func (t *roTx) Get(key string) ([]byte, error) {
+	ph := t.e.phases
+	if ph == nil {
+		return t.get(key)
+	}
+	ph.PprofEnter(obs.ProtoRO, obs.PhaseRead)
+	start := time.Now()
+	v, err := t.get(key)
+	ph.Record(obs.ProtoRO, obs.PhaseRead, t.id, time.Since(start))
+	ph.PprofExit()
+	return v, err
+}
+
+func (t *roTx) get(key string) ([]byte, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}

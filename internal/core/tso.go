@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mvdb/internal/engine"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 	"mvdb/internal/vc"
 )
@@ -43,8 +45,23 @@ func (e *Engine) beginTimestamp(id uint64) *tsoTx {
 
 // Get implements engine.Tx per Figure 3's read action: raise r-ts(x),
 // then return the version with the largest number <= sn(T), possibly
-// delayed by pending writes of older transactions.
+// delayed by pending writes of older transactions. With phase timing
+// on the whole read — including the object rule's wait inside TORead —
+// is attributed to the T/O read phase.
 func (t *tsoTx) Get(key string) ([]byte, error) {
+	ph := t.e.phases
+	if ph == nil {
+		return t.get(key)
+	}
+	ph.PprofEnter(obs.ProtoTO, obs.PhaseRead)
+	start := time.Now()
+	v, err := t.get(key)
+	ph.Record(obs.ProtoTO, obs.PhaseRead, t.id, time.Since(start))
+	ph.PprofExit()
+	return v, err
+}
+
+func (t *tsoTx) get(key string) ([]byte, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
@@ -106,14 +123,24 @@ func (t *tsoTx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
 	}
-	if err := t.e.appendWAL(t.tn, t.writes); err != nil {
+	if err := t.e.appendWAL(obs.ProtoTO, t.id, t.tn, t.writes); err != nil {
 		t.abortInternal()
 		return fmt.Errorf("core: commit log: %w", err)
 	}
 	t.done = true
+	ph := t.e.phases
+	var tIns time.Time
+	if ph != nil {
+		ph.PprofEnter(obs.ProtoTO, obs.PhaseInstall)
+		tIns = time.Now()
+	}
 	for key := range t.pending {
 		t.e.store.GetOrCreate(key).ResolvePending(t.tn, true)
 		t.e.rec.RecordWrite(t.id, key, t.tn)
+	}
+	if ph != nil {
+		ph.Record(obs.ProtoTO, obs.PhaseInstall, t.id, time.Since(tIns))
+		ph.PprofExit()
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
 	t.e.complete(t.entry)

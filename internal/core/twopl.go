@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lock"
+	"mvdb/internal/obs"
 	"mvdb/internal/storage"
 	"mvdb/internal/vc"
 )
@@ -157,16 +159,26 @@ func (t *twoPhaseTx) Commit() error {
 	}
 	t.tn = entry.TN()
 
-	if err := t.e.appendWAL(t.tn, t.buf); err != nil {
+	if err := t.e.appendWAL(obs.Proto2PL, t.id, t.tn, t.buf); err != nil {
 		t.e.vc.Discard(entry)
 		t.e.locks.ReleaseAll(t.id)
 		t.e.rec.RecordAbort(t.id)
 		return fmt.Errorf("core: commit log: %w", err)
 	}
+	ph := t.e.phases
+	var tIns time.Time
+	if ph != nil {
+		ph.PprofEnter(obs.Proto2PL, obs.PhaseInstall)
+		tIns = time.Now()
+	}
 	for key, w := range t.buf {
 		o := t.e.store.GetOrCreate(key)
 		o.InstallCommitted(storage.Version{TN: t.tn, Data: w.data, Tombstone: w.tombstone})
 		t.e.rec.RecordWrite(t.id, key, t.tn)
+	}
+	if ph != nil {
+		ph.Record(obs.Proto2PL, obs.PhaseInstall, t.id, time.Since(tIns))
+		ph.PprofExit()
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
 

@@ -10,6 +10,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
 	"mvdb/internal/faultfs"
+	"mvdb/internal/flight"
 )
 
 // TortureOptions configures a seeded randomized torture run.
@@ -30,6 +31,10 @@ type TortureOptions struct {
 	Clients int
 	// Log, when non-nil, receives one progress line per round.
 	Log func(format string, args ...any)
+	// FlightDir, when non-empty, receives a flight-recorder postmortem
+	// bundle (renderable with mvinspect -bundle) whenever an oracle
+	// violation aborts the run; TortureReport.Bundle names it.
+	FlightDir string
 }
 
 // TortureReport summarizes a completed torture run.
@@ -39,6 +44,28 @@ type TortureReport struct {
 	CleanRounds int
 	Acked       int // commits acknowledged across all rounds
 	Attempts    int // commit attempts across all rounds
+	// Bundle is the flight postmortem written on an oracle violation
+	// ("" when the run passed or TortureOptions.FlightDir was empty).
+	Bundle string
+}
+
+// capturePostmortem photographs a live engine into a flight bundle when
+// an oracle fires. Best-effort: postmortem failures never mask the
+// violation itself.
+func capturePostmortem(rep *TortureReport, dir string, e *core.Engine, detail string, logf func(string, ...any)) {
+	if dir == "" || e == nil {
+		return
+	}
+	path, err := flight.Capture(flight.Sources{
+		Stats:     e.Snapshot,
+		WaitGraph: e.LockWaitGraph,
+	}, nil, dir, "oracle-violation", detail)
+	if err != nil {
+		logf("postmortem capture failed: %v", err)
+		return
+	}
+	rep.Bundle = path
+	logf("postmortem bundle: %s", path)
 }
 
 // Torture runs rounds of: recover the database in dir under a
@@ -110,9 +137,11 @@ func Torture(dir string, opts TortureOptions) (TortureReport, error) {
 		}
 		// The dual oracle holds at every recovery, not just the last.
 		if err := o.Check(e); err != nil {
+			err = fmt.Errorf("round %d: %w", rep.Rounds, err)
+			capturePostmortem(&rep, opts.FlightDir, e, err.Error(), logf)
 			w.Close()
 			e.Close()
-			return rep, fmt.Errorf("round %d: %w", rep.Rounds, err)
+			return rep, err
 		}
 
 		budget := 60 + rng.Intn(140)
@@ -180,6 +209,15 @@ func Torture(dir string, opts TortureOptions) (TortureReport, error) {
 	}
 
 	if err := RecoverAndCheck(walPath, opts.Config, o); err != nil {
+		// The checking engine is gone; reopen the surviving state cleanly
+		// so the bundle photographs what recovery actually produced.
+		if opts.FlightDir != "" {
+			if e, w, oerr := openEngine(faultfs.New(faultfs.Plan{}), walPath, opts.Config, nil); oerr == nil {
+				capturePostmortem(&rep, opts.FlightDir, e, err.Error(), logf)
+				w.Close()
+				e.Close()
+			}
+		}
 		return rep, err
 	}
 	rep.Acked = o.Acks()

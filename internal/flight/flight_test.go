@@ -1,0 +1,313 @@
+package flight_test
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvdb/internal/audit"
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/flight"
+	"mvdb/internal/obs"
+)
+
+// newEngineRecorder builds a phase-timed core engine plus a flight
+// recorder tapped into all four sources.
+func newEngineRecorder(t *testing.T, opts core.Options, fopts flight.Options) (*core.Engine, *flight.Recorder) {
+	t.Helper()
+	tracer := obs.NewTracer(512)
+	opts.Trace = tracer
+	opts.PhaseTiming = true
+	e := core.New(opts)
+	t.Cleanup(func() { e.Close() })
+	if fopts.Dir == "" {
+		fopts.Dir = t.TempDir()
+	}
+	r, err := flight.New(flight.Sources{
+		Stats:     e.Snapshot,
+		Trace:     tracer.Dump,
+		WaitGraph: e.LockWaitGraph,
+	}, fopts)
+	if err != nil {
+		t.Fatalf("flight.New: %v", err)
+	}
+	t.Cleanup(r.Close)
+	return e, r
+}
+
+// TestConcurrentTriggers runs committers on a live engine while many
+// goroutines trigger bundles — the -race workout the recorder must
+// survive, since production triggers (audit alarms, HTTP dumps) arrive
+// from arbitrary goroutines mid-load.
+func TestConcurrentTriggers(t *testing.T) {
+	dir := t.TempDir()
+	e, r := newEngineRecorder(t, core.Options{Protocol: core.TwoPhaseLocking},
+		flight.Options{Dir: dir, Interval: time.Millisecond, MinGap: time.Nanosecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := []string{"a", "b", "c", "d"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := e.Begin(engine.ReadWrite)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				k := keys[(w+i)%len(keys)]
+				tx.Get(k)
+				if err := tx.Put(k, []byte{byte(i)}); err == nil {
+					tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+
+	var trig sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		trig.Add(1)
+		go func(g int) {
+			defer trig.Done()
+			for i := 0; i < 5; i++ {
+				if g%2 == 0 {
+					if _, err := r.Trigger("race", "concurrent trigger"); err != nil {
+						t.Errorf("Trigger: %v", err)
+					}
+				} else {
+					r.TriggerAsync("race-async", "concurrent async trigger")
+				}
+			}
+		}(g)
+	}
+	trig.Wait()
+	close(stop)
+	wg.Wait()
+
+	if r.Bundles() < 20 {
+		t.Fatalf("expected >= 20 bundles from explicit triggers, got %d", r.Bundles())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		b, err := flight.Load(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatalf("Load(%s): %v", ent.Name(), err)
+		}
+		if b.Schema != flight.SchemaVersion {
+			t.Fatalf("schema = %q, want %q", b.Schema, flight.SchemaVersion)
+		}
+		if len(b.Ring) == 0 {
+			t.Fatalf("%s: bundle carries no sampled history", ent.Name())
+		}
+		flight.Render(b, io.Discard)
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no bundle files written")
+	}
+}
+
+// TestAuditAlarmWritesBundle provokes a real serializability violation
+// (the eager-visibility ablation, same interleaving as the core A2
+// test) and checks the alarm → OnAlarm → TriggerAsync chain lands a
+// readable bundle on disk carrying the alarm that caused it.
+func TestAuditAlarmWritesBundle(t *testing.T) {
+	dir := t.TempDir()
+	var rec *flight.Recorder
+	var recMu sync.Mutex
+	aud := audit.New(audit.Options{
+		Window: 64,
+		Queue:  1 << 12,
+		Alarms: 16,
+		Logger: slog.New(slog.DiscardHandler),
+		OnAlarm: func(al audit.Alarm) {
+			recMu.Lock()
+			r := rec
+			recMu.Unlock()
+			if r != nil {
+				r.TriggerAsync("audit-alarm", al.Kind+": "+al.Message)
+			}
+		},
+	})
+	defer aud.Close()
+
+	tracer := obs.NewTracer(512)
+	e := core.New(core.Options{
+		Protocol:              core.TimestampOrdering,
+		UnsafeEagerVisibility: true,
+		Recorder:              aud,
+		Trace:                 tracer,
+		PhaseTiming:           true,
+	})
+	defer e.Close()
+
+	r, err := flight.New(flight.Sources{
+		Stats: e.Snapshot,
+		Trace: tracer.Dump,
+		Audit: aud.Snapshot,
+	}, flight.Options{Dir: dir, Interval: time.Hour, MinGap: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recMu.Lock()
+	rec = r
+	recMu.Unlock()
+
+	if err := e.Bootstrap(map[string][]byte{"y": {0}, "z": {0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 (older) reads z and writes y; T2 (younger) overwrites z and
+	// completes first; an RO snapshot in the eager-visibility gap sees
+	// T2's z but not T1's y — an MVSG cycle the auditor must flag.
+	t1, err := e.Begin(engine.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Begin(engine.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Get("z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Put("y", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put("z", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := e.Begin(engine.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Get("z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Get("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	aud.Drain()
+	if aud.AlarmsTotal() == 0 {
+		t.Fatal("ablation did not trip a live alarm")
+	}
+
+	// The bundle write is asynchronous (sampler goroutine); wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Bundles() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("alarm fired but no bundle was written")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for r.LastBundle() == "" && !time.Now().After(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	b, err := flight.Load(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "audit-alarm" {
+		t.Fatalf("reason = %q, want audit-alarm", b.Reason)
+	}
+	if b.Audit == nil || len(b.Audit.Alarms) == 0 {
+		t.Fatal("bundle carries no audit alarms")
+	}
+	var sb strings.Builder
+	flight.Render(b, &sb)
+	if !strings.Contains(sb.String(), "== audit ==") {
+		t.Fatalf("render missing audit section:\n%s", sb.String())
+	}
+}
+
+// TestHTTPHandlerDump exercises the /debug/mvdb/dump path: one GET, one
+// bundle, path echoed back as JSON.
+func TestHTTPHandlerDump(t *testing.T) {
+	dir := t.TempDir()
+	_, r := newEngineRecorder(t, core.Options{Protocol: core.Optimistic},
+		flight.Options{Dir: dir, Interval: time.Hour})
+
+	srv := httptest.NewServer(r.HTTPHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["bundle"] == "" {
+		t.Fatalf("no bundle path in response: %v", out)
+	}
+	if _, err := flight.Load(out["bundle"]); err != nil {
+		t.Fatalf("dumped bundle unreadable: %v", err)
+	}
+}
+
+// TestCaptureOneShot is the crashtest path: no long-lived recorder,
+// just a snapshot-now helper.
+func TestCaptureOneShot(t *testing.T) {
+	dir := t.TempDir()
+	stats := func() obs.Snapshot { return obs.Snapshot{Protocol: "vc+2pl"} }
+	path, err := flight.Capture(flight.Sources{Stats: stats}, nil, dir, "oracle-violation", "details here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := flight.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "oracle-violation" || b.Detail != "details here" {
+		t.Fatalf("unexpected bundle header: %+v", b)
+	}
+}
+
+// TestCloseSemantics: Trigger fails after Close, TriggerAsync is a
+// no-op, double Close is safe.
+func TestCloseSemantics(t *testing.T) {
+	_, r := newEngineRecorder(t, core.Options{}, flight.Options{Dir: t.TempDir(), Interval: time.Hour})
+	r.Close()
+	r.Close()
+	if _, err := r.Trigger("x", ""); err == nil {
+		t.Fatal("Trigger after Close should fail")
+	}
+	r.TriggerAsync("x", "")
+}

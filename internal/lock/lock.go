@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -478,6 +479,71 @@ func (m *Manager) Stripes() int { return len(m.stripes) }
 // stripe already locked — the striping contention signal: near zero means
 // the stripe count is ample for the workload.
 func (m *Manager) StripeCollisions() uint64 { return m.collisions.Load() }
+
+// WaitEdge is one waits-for edge of the lock table: From is blocked on
+// Key (requesting Mode) by To, which holds or is queued ahead with a
+// conflicting mode.
+type WaitEdge struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	Key  string `json:"key"`
+	Mode string `json:"mode"`
+}
+
+// WaitGraph is a point-in-time export of the waits-for relation, the
+// structure cycle detection walks. Waiters counts transactions that were
+// blocked when the graph was taken (an edgeless waiter is possible: its
+// blocker can release between the waiter scan and the edge scan).
+type WaitGraph struct {
+	TakenAtNS int64      `json:"taken_at_ns"`
+	Waiters   int        `json:"waiters"`
+	Edges     []WaitEdge `json:"edges,omitempty"`
+}
+
+// WaitGraph captures the current waits-for graph for postmortem export
+// (the flight recorder's bundles). It serializes against the blocking
+// slow path via detectMu — the same discipline as cycle detection — so
+// the edges it reports were simultaneously true. Fast-path grants and
+// releases are unaffected.
+func (m *Manager) WaitGraph() WaitGraph {
+	m.detectMu.Lock()
+	defer m.detectMu.Unlock()
+	g := WaitGraph{TakenAtNS: time.Now().UnixNano()}
+	for i := range m.txs {
+		sh := &m.txs[i]
+		sh.mu.Lock()
+		txs := make([]*txState, 0, len(sh.m))
+		for _, tx := range sh.m {
+			txs = append(txs, tx)
+		}
+		sh.mu.Unlock()
+		for _, tx := range txs {
+			tx.mu.Lock()
+			w := tx.waiting
+			tx.mu.Unlock()
+			if w == nil {
+				continue
+			}
+			g.Waiters++
+			for _, b := range m.blockersFor(w) {
+				g.Edges = append(g.Edges, WaitEdge{
+					From: tx.id, To: b.id, Key: w.key, Mode: w.mode.String(),
+				})
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.To < b.To
+	})
+	return g
+}
 
 // grantable reports whether tx may be granted mode on ls right now. The
 // caller holds ls's stripe mutex.

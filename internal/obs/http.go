@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -63,6 +64,9 @@ const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	               "mvdb" variable backed by the same snapshot function
 //	/metrics     — the snapshot in Prometheus text format, plus any
 //	               extras registered with WithPromExtra
+//	/debug/pprof — the standard runtime profiling endpoints (profile,
+//	               heap, trace, ...), labeled by protocol/phase when
+//	               phase timing is on
 //
 // addr may use port 0 to let the OS pick a free port; Addr reports the
 // bound address. snap must be safe for concurrent use; tracer may be
@@ -95,6 +99,15 @@ func Serve(addr string, snap func() Snapshot, tracer *Tracer, opts ...ServeOptio
 		w.Write(buf.Bytes())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// Standard pprof endpoints on the same mux (not the default one):
+	// with phase timing enabled the engine tags commit goroutines with
+	// mvdb_protocol/mvdb_phase labels, so CPU profiles taken here slice
+	// along the same taxonomy as the phase histograms.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	for pattern, h := range cfg.handlers {
 		mux.Handle(pattern, h)
 	}

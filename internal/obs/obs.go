@@ -169,6 +169,12 @@ type Snapshot struct {
 	MeanVersionChain float64 `json:"mean_version_chain"`
 	StoreWaits       int64   `json:"store_waits"`
 
+	// Phases is the per-protocol × per-phase latency attribution
+	// matrix (empty unless phase timing is enabled): where each
+	// transaction's time went — CC conflict resolution, WAL enqueue vs
+	// group-commit fsync wait, version install, register→visible lag.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+
 	// Extra carries engine-specific counters with no typed field
 	// (adaptive switches, distributed bus traffic, ...).
 	Extra map[string]int64 `json:"extra,omitempty"`
@@ -243,6 +249,10 @@ func (sn Snapshot) Map() map[string]int64 {
 		"store.keys":      int64(sn.Keys),
 		"store.versions":  sn.Versions,
 		"store.waits":     sn.StoreWaits,
+	}
+	for _, ps := range sn.Phases {
+		m["phase."+ps.Protocol+"."+ps.Phase+".count"] = int64(ps.Durations.Count)
+		m["phase."+ps.Protocol+"."+ps.Phase+".total_ns"] = ps.Durations.TotalNanoseconds
 	}
 	for k, v := range sn.Extra {
 		m[k] = v

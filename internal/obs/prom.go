@@ -187,6 +187,19 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 	p.Header("mvdb_store_waits_total", "counter", "Reads that waited on the version store.")
 	p.Int("mvdb_store_waits_total", sn.StoreWaits)
 
+	if len(sn.Phases) > 0 {
+		p.Header("mvdb_phase_seconds", "summary", "Per-transaction latency attribution by protocol and phase.")
+		for _, ph := range sn.Phases {
+			p.Summary("mvdb_phase_seconds", ph.Durations, "protocol", ph.Protocol, "phase", ph.Phase)
+		}
+		p.Header("mvdb_phase_slowest_tx", "gauge", "Transaction id of the slowest sample per (protocol, phase) — the trace-ring exemplar.")
+		for _, ph := range sn.Phases {
+			if ph.SlowestTx != 0 {
+				p.Int("mvdb_phase_slowest_tx", int64(ph.SlowestTx), "protocol", ph.Protocol, "phase", ph.Phase)
+			}
+		}
+	}
+
 	if len(sn.Extra) > 0 {
 		p.Header("mvdb_extra", "untyped", "Engine-specific counters without a typed field.")
 		for _, k := range sortedKeys(sn.Extra) {

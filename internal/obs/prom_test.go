@@ -3,6 +3,8 @@ package obs
 import (
 	"io"
 	"net/http"
+	"reflect"
+	"regexp"
 	"strconv"
 	"strings"
 	"testing"
@@ -168,5 +170,142 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	got, _ := io.ReadAll(resp2.Body)
 	if string(got) != "custom-ok" {
 		t.Fatalf("custom handler = %q", got)
+	}
+}
+
+// TestWritePromCompleteness is the exposition-completeness gate: every
+// field of the Stats registry and the Snapshot document must surface in
+// WriteProm under a known, valid metric family. A field added to either
+// struct without a family mapping here (and an emission in WriteProm)
+// fails the test by name, so new counters cannot silently skip the
+// /metrics endpoint.
+func TestWritePromCompleteness(t *testing.T) {
+	// field name (Stats or Snapshot) -> Prometheus family it feeds.
+	families := map[string]string{
+		"Protocol":             "mvdb_info",
+		"BeginsRO":             "mvdb_begins_total",
+		"BeginsRW":             "mvdb_begins_total",
+		"CommitsRO":            "mvdb_commits_total",
+		"CommitsRW":            "mvdb_commits_total",
+		"Retries":              "mvdb_retries_total",
+		"AbortsConflict":       "mvdb_aborts_total",
+		"AbortsDeadlock":       "mvdb_aborts_total",
+		"AbortsWounded":        "mvdb_aborts_total",
+		"AbortsTimeout":        "mvdb_aborts_total",
+		"AbortsUser":           "mvdb_aborts_total",
+		"RWAbortsByRO":         "mvdb_rw_aborts_by_ro_total",
+		"ROBlocked":            "mvdb_ro_blocked_total",
+		"RecencyWaits":         "mvdb_ro_recency_waits_total",
+		"LockWaits":            "mvdb_lock_waits_total",
+		"LockDeadlocks":        "mvdb_lock_deadlocks_total",
+		"LockWounds":           "mvdb_lock_wounds_total",
+		"LockTimeouts":         "mvdb_lock_timeouts_total",
+		"LockWait":             "mvdb_lock_wait_seconds",
+		"LockWaitNanos":        "mvdb_lock_wait_seconds",
+		"LockStripes":          "mvdb_lock_stripes",
+		"LockStripeCollisions": "mvdb_lock_stripe_collisions_total",
+		"WALAppends":           "mvdb_wal_appends_total",
+		"WALFsyncs":            "mvdb_wal_fsyncs_total",
+		"WALBytes":             "mvdb_wal_bytes_total",
+		"WALBatches":           "mvdb_wal_batches_total",
+		"WALBatchSize":         "mvdb_wal_batch_records",
+		"WALFsyncPerAppend":    "mvdb_wal_fsync_per_append",
+		"GCPasses":             "mvdb_gc_passes_total",
+		"GCReclaimed":          "mvdb_gc_reclaimed_total",
+		"TNC":                  "mvdb_tnc",
+		"VTNC":                 "mvdb_vtnc",
+		"VisibilityLag":        "mvdb_visibility_lag",
+		"VCQueueLen":           "mvdb_vc_queue_len",
+		"Keys":                 "mvdb_keys",
+		"Versions":             "mvdb_versions",
+		"MaxVersionChain":      "mvdb_version_chain_max",
+		"MeanVersionChain":     "mvdb_version_chain_mean",
+		"StoreWaits":           "mvdb_store_waits_total",
+		"Phases":               "mvdb_phase_seconds",
+		"Extra":                "mvdb_extra",
+	}
+
+	// Populate the live registry so no conditional family is skipped.
+	s := NewStats()
+	sv := reflect.ValueOf(s).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Type().Field(i)
+		if _, ok := families[f.Name]; !ok {
+			t.Errorf("Stats.%s has no Prometheus family mapping; export it in WriteProm and add it here", f.Name)
+			continue
+		}
+		switch v := sv.Field(i).Addr().Interface().(type) {
+		case *Counter:
+			v.Add(3)
+		case **metrics.Histogram:
+			(*v).Record(1_000_000)
+		default:
+			t.Errorf("Stats.%s: unhandled field type %s", f.Name, f.Type)
+		}
+	}
+
+	sn := s.Snapshot()
+	// Fill every remaining Snapshot field nonzero so value-gated
+	// families (summaries, phases, extras) all emit.
+	nv := reflect.ValueOf(&sn).Elem()
+	for i := 0; i < nv.NumField(); i++ {
+		f := nv.Type().Field(i)
+		if _, ok := families[f.Name]; !ok {
+			t.Errorf("Snapshot.%s has no Prometheus family mapping; export it in WriteProm and add it here", f.Name)
+			continue
+		}
+		fv := nv.Field(i)
+		switch {
+		case f.Type.Kind() == reflect.String:
+			fv.SetString("vc+2pl")
+		case f.Type == reflect.TypeOf(metrics.Summary{}):
+			fv.Set(reflect.ValueOf(metrics.Summary{Count: 2, Mean: 5, P50: 4, P90: 6, P99: 8, Max: 9, TotalNanoseconds: 10}))
+		case f.Type == reflect.TypeOf([]PhaseSummary(nil)):
+			fv.Set(reflect.ValueOf([]PhaseSummary{{
+				Protocol:  "vc+2pl",
+				Phase:     "fsync-wait",
+				Durations: metrics.Summary{Count: 1, P50: 1, P99: 1, Max: 1, TotalNanoseconds: 1},
+				SlowestTx: 42,
+			}}))
+		case f.Type == reflect.TypeOf(map[string]int64(nil)):
+			fv.Set(reflect.ValueOf(map[string]int64{"adaptive.switches": 1}))
+		case fv.CanInt():
+			fv.SetInt(7)
+		case fv.CanUint():
+			fv.SetUint(7)
+		case fv.CanFloat():
+			fv.SetFloat(0.5)
+		default:
+			t.Errorf("Snapshot.%s: unhandled field type %s", f.Name, f.Type)
+		}
+	}
+
+	var sb strings.Builder
+	if err := sn.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	checkPromText(t, out)
+
+	nameRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	emitted := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if !nameRE.MatchString(name) {
+			t.Errorf("invalid metric name %q", name)
+		}
+		emitted[name] = true
+	}
+	for field, family := range families {
+		if !emitted[family] {
+			t.Errorf("family %s (from field %s) missing from exposition:\n%s", family, field, out)
+		}
+	}
+	// The phase exemplar gauge rides the Phases field too.
+	if !emitted["mvdb_phase_slowest_tx"] {
+		t.Errorf("mvdb_phase_slowest_tx missing from exposition")
 	}
 }

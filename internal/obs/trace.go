@@ -29,9 +29,13 @@ const (
 	// EvSnapshot is a read-only transaction pinning its snapshot
 	// position; TN is the start number sn.
 	EvSnapshot
+	// EvPhase is a phase-timing exemplar: a sample that became the
+	// slowest its (protocol, phase) cell has seen. Key is
+	// "protocol/phase", Tx the transaction, Dur the sample.
+	EvPhase
 )
 
-var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc", "snapshot"}
+var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc", "snapshot", "phase"}
 
 func (t EventType) String() string {
 	if int(t) < len(evNames) {

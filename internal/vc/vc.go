@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Entry is a VCQueue node for one registered read-write transaction.
@@ -38,7 +39,8 @@ import (
 type Entry struct {
 	tn       uint64
 	complete bool
-	resolved bool // fully removed from the queue (or discarded)
+	resolved bool  // fully removed from the queue (or discarded)
+	regAt    int64 // registration time (unix ns); stamped only when a visible observer is installed
 	prev     *Entry
 	next     *Entry
 }
@@ -70,6 +72,11 @@ type Controller struct {
 	// completions counts Complete calls; discards counts Discard calls.
 	completions atomic.Uint64
 	discards    atomic.Uint64
+
+	// onVisible, when set, observes each entry's register→visible lag
+	// (paper Section 6's delayed visibility, measured per transaction).
+	// Guarded by mu; see SetVisibleObserver.
+	onVisible func(tn uint64, d time.Duration)
 }
 
 // New returns a Controller whose visible state is the bootstrap snapshot
@@ -132,10 +139,32 @@ func (c *Controller) Register() *Entry {
 }
 
 func (c *Controller) registerLocked() *Entry {
-	e := &Entry{tn: c.tnc}
+	e := c.newEntryLocked(c.tnc)
 	c.tnc += c.step
 	c.pushBack(e)
 	return e
+}
+
+// newEntryLocked builds an entry, stamping the registration time only
+// when someone is watching — the stamp is the one extra cost on the
+// register path and it is skipped entirely when phase timing is off.
+func (c *Controller) newEntryLocked(tn uint64) *Entry {
+	e := &Entry{tn: tn}
+	if c.onVisible != nil {
+		e.regAt = time.Now().UnixNano()
+	}
+	return e
+}
+
+// SetVisibleObserver installs fn, called once per registered entry when
+// the drain pops it and its number becomes visible, with the entry's
+// register→visible lag. It runs with the controller's mutex held — it
+// must be cheap and must not call back into the controller. Install
+// before concurrent use; nil uninstalls.
+func (c *Controller) SetVisibleObserver(fn func(tn uint64, d time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onVisible = fn
 }
 
 // RegisterExact assigns exactly the transaction number tn, which must not
@@ -150,7 +179,7 @@ func (c *Controller) RegisterExact(tn uint64) (*Entry, error) {
 	if tn < c.tnc {
 		return nil, fmt.Errorf("vc: RegisterExact(%d) behind tnc %d", tn, c.tnc)
 	}
-	e := &Entry{tn: tn}
+	e := c.newEntryLocked(tn)
 	c.tnc = nextAligned(tn, c.offset, c.step)
 	c.pushBack(e)
 	return e, nil
@@ -169,7 +198,7 @@ func (c *Controller) RegisterAtLeast(min uint64) *Entry {
 	if tn < min {
 		tn = min
 	}
-	e := &Entry{tn: tn}
+	e := c.newEntryLocked(tn)
 	c.tnc = nextAligned(tn, c.offset, c.step)
 	c.pushBack(e)
 	return e
@@ -255,6 +284,10 @@ func (c *Controller) UnsafeCompleteEager(e *Entry) {
 // distributed extension, where the stride and max-vote rules leave gaps.
 func (c *Controller) drainLocked() {
 	advanced := false
+	var nowNS int64
+	if c.onVisible != nil {
+		nowNS = time.Now().UnixNano()
+	}
 	for c.head != nil && c.head.complete {
 		h := c.head
 		if h.tn > c.vtnc.Load() { // the guard only matters after UnsafeCompleteEager
@@ -263,6 +296,9 @@ func (c *Controller) drainLocked() {
 		h.resolved = true
 		c.unlink(h)
 		advanced = true
+		if h.regAt != 0 && c.onVisible != nil {
+			c.onVisible(h.tn, time.Duration(nowNS-h.regAt))
+		}
 	}
 	target := c.tnc - 1
 	if c.head != nil {

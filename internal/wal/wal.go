@@ -233,36 +233,67 @@ func OpenAppendWith(path string, validLen int64, opts Options) (*Writer, error) 
 // SyncEveryCommit and SyncBatch; under SyncBatch the caller blocked on a
 // shared fsync ticket rather than issuing its own.
 func (w *Writer) Append(r Record) error {
+	_, _, err := w.append(r, false)
+	return err
+}
+
+// AppendTimed is Append reporting where the caller's time went:
+// enqueueNS is the span from entry to the record sitting in the log
+// buffer (including contention on the writer mutex), syncWaitNS the
+// span from there to fsync coverage — the inline flush+sync under
+// SyncEveryCommit, or the wait for the group-commit flusher's ticket
+// under SyncBatch (zero under SyncNever). Both are valid even when err
+// is non-nil. The phase-attribution layer calls this; everyone else
+// uses Append and pays no timestamping.
+func (w *Writer) AppendTimed(r Record) (enqueueNS, syncWaitNS int64, err error) {
+	return w.append(r, true)
+}
+
+func (w *Writer) append(r Record, timed bool) (enqueueNS, syncWaitNS int64, err error) {
 	payload := encodePayload(nil, r)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return errors.New("wal: writer closed")
+		return 0, 0, errors.New("wal: writer closed")
 	}
 	if w.syncErr != nil {
-		return w.syncErr
+		return 0, 0, w.syncErr
 	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := w.bw.Write(payload); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.appends.Add(1)
 	w.bytes.Add(uint64(len(hdr) + len(payload)))
+	var tEnq time.Time
+	if timed {
+		tEnq = time.Now()
+		enqueueNS = tEnq.Sub(t0).Nanoseconds()
+	}
 	switch w.opts.Policy {
 	case SyncEveryCommit:
-		if err := w.bw.Flush(); err != nil {
-			return fmt.Errorf("wal: flush: %w", err)
+		err := w.bw.Flush()
+		if err != nil {
+			err = fmt.Errorf("wal: flush: %w", err)
+		} else if err = w.f.Sync(); err != nil {
+			err = fmt.Errorf("wal: sync: %w", err)
+		} else {
+			w.fsyncs.Add(1)
 		}
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+		if timed {
+			syncWaitNS = time.Since(tEnq).Nanoseconds()
 		}
-		w.fsyncs.Add(1)
+		return enqueueNS, syncWaitNS, err
 	case SyncBatch:
 		w.enqSeq++
 		seq := w.enqSeq
@@ -270,15 +301,18 @@ func (w *Writer) Append(r Record) error {
 		for w.syncSeq < seq && w.syncErr == nil && !w.closed {
 			w.synced.Wait()
 		}
+		if timed {
+			syncWaitNS = time.Since(tEnq).Nanoseconds()
+		}
 		if w.syncSeq >= seq {
-			return nil
+			return enqueueNS, syncWaitNS, nil
 		}
 		if w.syncErr != nil {
-			return w.syncErr
+			return enqueueNS, syncWaitNS, w.syncErr
 		}
-		return errors.New("wal: writer closed before batch fsync")
+		return enqueueNS, syncWaitNS, errors.New("wal: writer closed before batch fsync")
 	}
-	return nil
+	return enqueueNS, syncWaitNS, nil
 }
 
 // flusher is the SyncBatch background goroutine: it gathers everything

@@ -41,6 +41,7 @@ import (
 	"mvdb/internal/audit"
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
+	"mvdb/internal/flight"
 	"mvdb/internal/gc"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
@@ -191,6 +192,26 @@ type Options struct {
 	// auditor keeps in its live MVSG (0 selects audit.DefaultWindow).
 	// Larger windows catch longer cycles at proportional memory cost.
 	AuditWindow int
+	// PhaseTiming enables per-transaction latency attribution: every
+	// read-write commit is broken into protocol phases (lock-wait,
+	// read, validate, wal-enqueue, fsync-wait, install, visible-wait)
+	// with per-protocol histograms in Stats().Phases, the Prometheus
+	// endpoint (mvdb_phase_seconds) and /debug/mvdb, plus pprof
+	// goroutine labels (mvdb_protocol, mvdb_phase) on the timed spans.
+	// Off — the default — leaves the hot paths with a nil test and zero
+	// extra allocations.
+	PhaseTiming bool
+	// FlightDir enables the black-box flight recorder: a background
+	// sampler keeps recent Stats history, and on an audit alarm (when
+	// Audit is on), a GET of /debug/mvdb/dump (when DebugAddr is set),
+	// or an explicit DB.Flight().Trigger call, a self-contained JSON
+	// postmortem bundle is written atomically into this directory.
+	// Render bundles with `mvinspect -bundle <file>`. Empty — the
+	// default — runs no recorder.
+	FlightDir string
+	// FlightInterval is the flight recorder's background sampling
+	// cadence (0 = 1s).
+	FlightInterval time.Duration
 }
 
 // Stats is the typed observability snapshot returned by DB.Stats: every
@@ -213,6 +234,12 @@ type AuditSnapshot = audit.Snapshot
 // AuditAlarm is one anomaly the auditor detected.
 type AuditAlarm = audit.Alarm
 
+// Flight is the black-box flight recorder (see Options.FlightDir).
+type Flight = flight.Recorder
+
+// FlightBundle is one postmortem bundle document.
+type FlightBundle = flight.Bundle
+
 // DB is an open database.
 type DB struct {
 	eng       *core.Engine     // underlying engine (read-only paths, GC, stats)
@@ -222,6 +249,7 @@ type DB struct {
 	log       *wal.Writer
 	tracer    *obs.Tracer      // nil unless DebugAddr/TraceEvents
 	auditor   *audit.Auditor   // nil unless Options.Audit
+	flightRec *flight.Recorder // nil unless Options.FlightDir
 	dbg       *obs.DebugServer // nil unless DebugAddr
 	walPath   string
 	retries   int
@@ -245,11 +273,21 @@ func Open(opts Options) (*DB, error) {
 	// (and WAL recovery) can attach it; the version-control gauges it
 	// samples are published through an atomic pointer once the engine
 	// exists, so the consumer goroutine never races engine construction.
+	// The flight recorder is created after the engine (it samples engine
+	// state), but the auditor's alarm hook is installed now — so the hook
+	// reaches the recorder through an atomic pointer that is published
+	// once both exist.
+	var flightRec atomic.Pointer[flight.Recorder]
 	var auditor *audit.Auditor
 	var auditVC atomic.Pointer[vc.Controller]
 	if opts.Audit {
 		auditor = audit.New(audit.Options{
 			Window: opts.AuditWindow,
+			OnAlarm: func(al audit.Alarm) {
+				if r := flightRec.Load(); r != nil {
+					r.TriggerAsync("audit-alarm", al.Kind+": "+al.Message)
+				}
+			},
 			Gauges: func() (tnc, vtnc uint64) {
 				c := auditVC.Load()
 				if c == nil {
@@ -272,6 +310,7 @@ func Open(opts Options) (*DB, error) {
 		Shards:        opts.Shards,
 		TrackReadOnly: opts.GCInterval > 0,
 		Trace:         tracer,
+		PhaseTiming:   opts.PhaseTiming,
 	}
 	if auditor != nil {
 		coreOpts.Recorder = auditor
@@ -330,12 +369,35 @@ func Open(opts Options) (*DB, error) {
 	if opts.GCInterval > 0 {
 		db.collector.Start()
 	}
+	if opts.FlightDir != "" {
+		src := flight.Sources{
+			Stats:     db.Stats,
+			WaitGraph: eng.LockWaitGraph,
+		}
+		if tracer != nil {
+			src.Trace = tracer.Dump
+		}
+		if auditor != nil {
+			src.Audit = auditor.Snapshot
+		}
+		rec, err := flight.New(src, flight.Options{Dir: opts.FlightDir, Interval: opts.FlightInterval})
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("mvdb: flight recorder: %w", err)
+		}
+		db.flightRec = rec
+		flightRec.Store(rec)
+	}
 	if opts.DebugAddr != "" {
 		var serveOpts []obs.ServeOption
 		if auditor != nil {
 			serveOpts = append(serveOpts,
 				obs.WithHandler("/debug/mvdb/audit", auditor.HTTPHandler()),
 				obs.WithPromExtra(auditor.WriteProm))
+		}
+		if db.flightRec != nil {
+			serveOpts = append(serveOpts,
+				obs.WithHandler("/debug/mvdb/dump", db.flightRec.HTTPHandler()))
 		}
 		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer, serveOpts...)
 		if err != nil {
@@ -358,6 +420,11 @@ func (db *DB) Close() error {
 	}
 	if db.collector != nil {
 		db.collector.Stop()
+	}
+	if db.flightRec != nil {
+		// Before the engine and auditor: no bundle write can then observe
+		// half-torn-down sources.
+		db.flightRec.Close()
 	}
 	err := db.eng.Close()
 	if db.auditor != nil {
@@ -502,6 +569,11 @@ func (db *DB) Trace() []TraceEvent { return db.tracer.Dump() }
 // Options.Audit was off. Auditor.Snapshot() reads the live state;
 // Auditor.Drain() waits until everything recorded so far is processed.
 func (db *DB) Audit() *Auditor { return db.auditor }
+
+// Flight returns the black-box flight recorder, or nil when
+// Options.FlightDir was empty. Flight().Trigger writes a postmortem
+// bundle on demand; Flight().LastBundle reports the newest bundle path.
+func (db *DB) Flight() *Flight { return db.flightRec }
 
 // DebugAddr reports the bound address of the debug HTTP server ("" when
 // Options.DebugAddr was empty). With Options.DebugAddr ":0" this is how
