@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mvdb/internal/trace"
+)
+
+// runTraces fetches the causal-trace dump from a running database's
+// debug endpoint and renders every promoted trace (and, when nothing
+// has been promoted yet, the recent ring) as ASCII waterfalls.
+func runTraces(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/mvdb/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/mvdb/traces: %s", resp.Status)
+	}
+	var d trace.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return fmt.Errorf("decoding trace dump: %w", err)
+	}
+
+	fmt.Printf("traces: started=%d sampled=%d finished=%d promoted=%d dropped recent=%d promoted=%d spans=%d\n",
+		d.Stats.Started, d.Stats.Sampled, d.Stats.Finished, d.Stats.Promoted,
+		d.Stats.DroppedRecent, d.Stats.DroppedPromoted, d.Stats.DroppedSpans)
+
+	set, label := d.Promoted, "promoted"
+	if len(set) == 0 {
+		set, label = d.Recent, "recent (nothing promoted yet)"
+	}
+	if len(set) == 0 {
+		fmt.Println("no traces retained yet")
+		return nil
+	}
+	fmt.Printf("\n== %s (%d) ==\n", label, len(set))
+	for i := range set {
+		trace.Waterfall(os.Stdout, set[i])
+	}
+	return nil
+}

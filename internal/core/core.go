@@ -31,6 +31,7 @@ import (
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 	"mvdb/internal/vc"
 	"mvdb/internal/wal"
 )
@@ -98,6 +99,12 @@ type Options struct {
 	// timing site reduces to one nil test — the disabled path keeps
 	// the seed's allocation profile.
 	PhaseTiming bool
+	// Traces, when non-nil, enables causal per-transaction tracing
+	// (internal/trace): sampled transactions record per-phase span
+	// trees with blame edges from the lock manager, the WAL group
+	// commit, and the VC drain. Nil keeps the hot path at one pointer
+	// test and zero allocations.
+	Traces *trace.Tracer
 
 	// UnsafeEarlyRegister2PL is ablation A1: it makes the 2PL engine
 	// register transactions with version control at begin instead of at
@@ -133,7 +140,9 @@ type Engine struct {
 	stats *obs.Stats
 	// phases is the latency-attribution matrix; nil unless
 	// Options.PhaseTiming (nil keeps every timing site to one nil test).
-	phases          *obs.PhaseStats
+	phases *obs.PhaseStats
+	// traces is the causal span tracer; nil unless Options.Traces.
+	traces          *trace.Tracer
 	closed          atomic.Bool
 	bootstrapSealed atomic.Bool
 }
@@ -155,15 +164,20 @@ func New(opts Options) *Engine {
 	// SetProtocol can swap to two-phase locking later. Its wait observer
 	// feeds the wait-time histogram and (when tracing) lock-wait events.
 	e.locks = lock.NewManagerStriped(opts.LockPolicy, opts.LockTimeout, opts.LockStripes)
-	e.locks.SetWaitObserver(func(txID uint64, key string, wait time.Duration) {
+	e.traces = opts.Traces
+	e.locks.SetWaitObserver(func(txID uint64, key string, stripe int, blocker uint64, wait time.Duration) {
 		e.stats.LockWaitNanos.Record(wait.Nanoseconds())
-		// phases.Record is nil-safe; only 2PL transactions reach the
-		// lock manager, so the attribution row is fixed.
+		// phases.Record and traces.OnLockWait are nil-safe; only 2PL
+		// transactions reach the lock manager, so the attribution row
+		// is fixed.
 		e.phases.Record(obs.Proto2PL, obs.PhaseLockWait, txID, wait)
+		e.traces.OnLockWait(txID, key, stripe, blocker, wait)
 		opts.Trace.Record(obs.Event{Type: obs.EvLockWait, Tx: txID, Key: key, Dur: wait.Nanoseconds()})
 	})
 	if opts.PhaseTiming {
 		e.phases = obs.NewPhaseStats(opts.Trace)
+	}
+	if opts.PhaseTiming || opts.Traces != nil {
 		e.observeVC()
 	}
 	e.protocol.Store(int32(opts.Protocol))
@@ -183,16 +197,18 @@ func (e *Engine) attachWALObserver(w *wal.Writer) {
 }
 
 // observeVC wires the version-control module's register→visible lag
-// into the phase matrix. Called at construction and again whenever the
-// controller is replaced (recovery). The entry is attributed to the
-// protocol in force when it becomes visible — exact except across an
-// adaptive protocol switch, where a straggler may land one row over.
+// into the phase matrix and the span tracer. Called at construction and
+// again whenever the controller is replaced (recovery). The entry is
+// attributed to the protocol in force when it becomes visible — exact
+// except across an adaptive protocol switch, where a straggler may land
+// one row over.
 func (e *Engine) observeVC() {
-	if e.phases == nil {
+	if e.phases == nil && e.traces == nil {
 		return
 	}
 	e.vc.SetVisibleObserver(func(tn uint64, d time.Duration) {
 		e.phases.Record(e.protoIdx(), obs.PhaseVisibleWait, tn, d)
+		e.traces.OnVisible(tn, d)
 	})
 }
 
@@ -317,6 +333,9 @@ func (e *Engine) Obs() *obs.Stats { return e.stats }
 // Options.PhaseTiming).
 func (e *Engine) Phases() *obs.PhaseStats { return e.phases }
 
+// Traces exposes the causal span tracer (nil unless Options.Traces).
+func (e *Engine) Traces() *trace.Tracer { return e.traces }
+
 // LockWaitGraph exports the lock manager's current waits-for graph (the
 // flight recorder's postmortem bundles include it).
 func (e *Engine) LockWaitGraph() lock.WaitGraph { return e.locks.WaitGraph() }
@@ -405,7 +424,7 @@ func (e *Engine) MinActiveReadOnlySN() (uint64, bool) {
 // on, the append is split into its two separable costs — getting the
 // record into the log buffer vs waiting for fsync coverage (the
 // group-commit ticket wait under SyncBatch) — attributed to proto/txID.
-func (e *Engine) appendWAL(proto obs.ProtoIdx, txID, tn uint64, buf map[string]bufWrite) error {
+func (e *Engine) appendWAL(proto obs.ProtoIdx, txID, tn uint64, buf map[string]bufWrite, tr *trace.Active) error {
 	if e.opts.WAL == nil {
 		return nil
 	}
@@ -413,15 +432,40 @@ func (e *Engine) appendWAL(proto obs.ProtoIdx, txID, tn uint64, buf map[string]b
 	for k, w := range buf {
 		rec.Writes = append(rec.Writes, wal.Write{Key: k, Value: w.data, Tombstone: w.tombstone})
 	}
-	if ph := e.phases; ph != nil {
-		ph.PprofEnter(proto, obs.PhaseFsyncWait)
-		enq, syncWait, err := e.opts.WAL.AppendTimed(rec)
-		ph.PprofExit()
-		ph.Record(proto, obs.PhaseWALEnqueue, txID, time.Duration(enq))
-		ph.Record(proto, obs.PhaseFsyncWait, txID, time.Duration(syncWait))
-		return err
+	ph := e.phases
+	if ph == nil && tr == nil {
+		return e.opts.WAL.Append(rec)
 	}
-	return e.opts.WAL.Append(rec)
+	ph.PprofEnter(proto, obs.PhaseFsyncWait)
+	var info wal.BatchInfo
+	var enq, syncWait int64
+	var err error
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+		info, enq, syncWait, err = e.opts.WAL.AppendTraced(rec)
+	} else {
+		enq, syncWait, err = e.opts.WAL.AppendTimed(rec)
+	}
+	ph.PprofExit()
+	ph.Record(proto, obs.PhaseWALEnqueue, txID, time.Duration(enq))
+	ph.Record(proto, obs.PhaseFsyncWait, txID, time.Duration(syncWait))
+	if tr != nil {
+		ns := start.UnixNano()
+		tr.SpanAt(obs.PhaseWALEnqueue.String(), -1, ns, enq)
+		tr.SpanAt(obs.PhaseFsyncWait.String(), -1, ns+enq, syncWait)
+		if err == nil && info.Batch != 0 {
+			tr.Blame(trace.Blame{
+				Kind:    trace.BlameJoinedBatch,
+				Phase:   obs.PhaseFsyncWait.String(),
+				Tx:      info.LeaderTN,
+				Batch:   info.Batch,
+				Records: info.Records,
+				DurNS:   syncWait,
+			})
+		}
+	}
+	return err
 }
 
 // Recover rebuilds an engine from a write-ahead log: every intact commit
@@ -455,13 +499,29 @@ func (e *Engine) SetWAL(w *wal.Writer) error {
 }
 
 // complete routes a completion through either the correct Figure 1 path
-// or the ablated (A2) eager path.
-func (e *Engine) complete(entry *vc.Entry) {
+// or the ablated (A2) eager path. A traced completion observes the VC
+// queue at the completion instant: if an older registered-but-incomplete
+// transaction heads the queue, visibility is deferred to it, and that is
+// the queued-behind blame edge. The eager path bypasses the drain (no
+// visibility callback will ever fire), so its trace finalizes here.
+func (e *Engine) complete(entry *vc.Entry, tr *trace.Active) {
 	if e.opts.UnsafeEagerVisibility {
 		e.vc.UnsafeCompleteEager(entry)
+		tr.FinishCommit()
 		return
 	}
-	e.vc.Complete(entry)
+	if tr == nil {
+		e.vc.Complete(entry)
+		return
+	}
+	e.vc.CompleteObserved(entry, func(headTN uint64, depth int) {
+		tr.Blame(trace.Blame{
+			Kind:  trace.BlameQueuedBehind,
+			Phase: obs.PhaseVisibleWait.String(),
+			Tx:    headTN,
+			Depth: depth,
+		})
+	})
 }
 
 // roRegistry tracks active read-only transactions for GC watermarks.

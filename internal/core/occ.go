@@ -7,6 +7,7 @@ import (
 	"mvdb/internal/engine"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 )
 
 // occTx is a read-write transaction under VC+OCC, the integration the
@@ -28,10 +29,14 @@ type occTx struct {
 	buf     map[string]bufWrite
 	done    bool
 	tn      uint64
+	tr      *trace.Active // nil unless head-sampled
 }
 
 func (e *Engine) beginOptimistic(id uint64) *occTx {
 	t := &occTx{e: e, id: id, readSet: make(map[string]uint64), buf: make(map[string]bufWrite)}
+	if e.traces != nil {
+		t.tr = e.traces.Start(id, obs.ProtoOCC.String())
+	}
 	e.rec.RecordBegin(id, engine.ReadWrite)
 	return t
 }
@@ -40,14 +45,16 @@ func (e *Engine) beginOptimistic(id uint64) *occTx {
 // version, with no synchronization.
 func (t *occTx) Get(key string) ([]byte, error) {
 	ph := t.e.phases
-	if ph == nil {
+	if ph == nil && t.tr == nil {
 		return t.get(key)
 	}
 	ph.PprofEnter(obs.ProtoOCC, obs.PhaseRead)
 	start := time.Now()
 	v, err := t.get(key)
-	ph.Record(obs.ProtoOCC, obs.PhaseRead, t.id, time.Since(start))
+	d := time.Since(start)
+	ph.Record(obs.ProtoOCC, obs.PhaseRead, t.id, d)
 	ph.PprofExit()
+	t.tr.Span(obs.PhaseRead.String(), start, d)
 	return v, err
 }
 
@@ -116,7 +123,7 @@ func (t *occTx) Commit() error {
 	// serial-order-fixing stretch that Larson et al. identify as OCC's
 	// throughput ceiling.
 	var tVal time.Time
-	if ph != nil {
+	if ph != nil || t.tr != nil {
 		ph.PprofEnter(obs.ProtoOCC, obs.PhaseValidate)
 		tVal = time.Now()
 	}
@@ -128,29 +135,36 @@ func (t *occTx) Commit() error {
 		}
 		if cur != seenTN {
 			e.valMu.Unlock()
-			if ph != nil {
-				ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, time.Since(tVal))
+			if ph != nil || t.tr != nil {
+				d := time.Since(tVal)
+				ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, d)
 				ph.PprofExit()
+				t.tr.Span(obs.PhaseValidate.String(), tVal, d)
 			}
 			e.stats.AbortsConflict.Inc()
 			e.rec.RecordAbort(t.id)
+			t.tr.FinishAbort()
 			return engine.ErrConflict
 		}
 	}
 	entry := e.vc.Register()
 	t.tn = entry.TN()
-	if ph != nil {
-		ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, time.Since(tVal))
+	t.tr.CommitTN(t.tn)
+	if ph != nil || t.tr != nil {
+		d := time.Since(tVal)
+		ph.Record(obs.ProtoOCC, obs.PhaseValidate, t.id, d)
 		ph.PprofExit()
+		t.tr.Span(obs.PhaseValidate.String(), tVal, d)
 	}
-	if err := e.appendWAL(obs.ProtoOCC, t.id, t.tn, t.buf); err != nil {
+	if err := e.appendWAL(obs.ProtoOCC, t.id, t.tn, t.buf, t.tr); err != nil {
 		e.vc.Discard(entry)
 		e.valMu.Unlock()
 		e.rec.RecordAbort(t.id)
+		t.tr.FinishAbort()
 		return fmt.Errorf("core: commit log: %w", err)
 	}
 	var tIns time.Time
-	if ph != nil {
+	if ph != nil || t.tr != nil {
 		ph.PprofEnter(obs.ProtoOCC, obs.PhaseInstall)
 		tIns = time.Now()
 	}
@@ -159,14 +173,16 @@ func (t *occTx) Commit() error {
 		o.InstallCommitted(storage.Version{TN: t.tn, Data: w.data, Tombstone: w.tombstone})
 		e.rec.RecordWrite(t.id, key, t.tn)
 	}
-	if ph != nil {
-		ph.Record(obs.ProtoOCC, obs.PhaseInstall, t.id, time.Since(tIns))
+	if ph != nil || t.tr != nil {
+		d := time.Since(tIns)
+		ph.Record(obs.ProtoOCC, obs.PhaseInstall, t.id, d)
 		ph.PprofExit()
+		t.tr.Span(obs.PhaseInstall.String(), tIns, d)
 	}
 	e.valMu.Unlock()
 
 	e.rec.RecordCommit(t.id, t.tn)
-	e.complete(entry)
+	e.complete(entry, t.tr)
 	e.stats.CommitsRW.Inc()
 	return nil
 }
@@ -187,6 +203,7 @@ func (t *occTx) abortInternal() {
 	}
 	t.done = true
 	t.e.rec.RecordAbort(t.id)
+	t.tr.FinishAbort()
 }
 
 // ID implements engine.Tx.

@@ -6,6 +6,7 @@ import (
 	"mvdb/internal/engine"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 )
 
 // roTx is a read-only transaction (paper Figure 2). It is shared by all
@@ -20,6 +21,7 @@ type roTx struct {
 	token   uint64 // roRegistry token (0 = untracked)
 	done    bool
 	tracked bool
+	tr      *trace.Active // nil unless head-sampled
 }
 
 func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
@@ -37,6 +39,9 @@ func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
 		sn = e.vc.Start()
 	}
 	t := &roTx{e: e, id: id, sn: sn}
+	if e.traces != nil {
+		t.tr = e.traces.Start(id, obs.ProtoRO.String())
+	}
 	if e.opts.TrackReadOnly {
 		t.token = e.roActive.add(sn)
 		t.tracked = true
@@ -53,14 +58,16 @@ func (e *Engine) beginReadOnly(id, pinSN uint64) *roTx {
 // should sit at memory-access latency regardless of write load.
 func (t *roTx) Get(key string) ([]byte, error) {
 	ph := t.e.phases
-	if ph == nil {
+	if ph == nil && t.tr == nil {
 		return t.get(key)
 	}
 	ph.PprofEnter(obs.ProtoRO, obs.PhaseRead)
 	start := time.Now()
 	v, err := t.get(key)
-	ph.Record(obs.ProtoRO, obs.PhaseRead, t.id, time.Since(start))
+	d := time.Since(start)
+	ph.Record(obs.ProtoRO, obs.PhaseRead, t.id, d)
 	ph.PprofExit()
+	t.tr.Span(obs.PhaseRead.String(), start, d)
 	return v, err
 }
 
@@ -112,6 +119,9 @@ func (t *roTx) Commit() error {
 	t.finish()
 	t.e.rec.RecordCommit(t.id, t.sn)
 	t.e.stats.CommitsRO.Inc()
+	// No visibility callback will ever name a read-only transaction
+	// (it registers nothing), so its trace finalizes here.
+	t.tr.FinishCommit()
 	return nil
 }
 
@@ -124,6 +134,7 @@ func (t *roTx) Abort() {
 	t.finish()
 	t.e.rec.RecordAbort(t.id)
 	t.e.stats.AbortsUser.Inc()
+	t.tr.FinishAbort()
 }
 
 func (t *roTx) finish() {

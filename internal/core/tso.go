@@ -8,6 +8,7 @@ import (
 	"mvdb/internal/engine"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 	"mvdb/internal/vc"
 )
 
@@ -27,6 +28,7 @@ type tsoTx struct {
 	pending map[string]struct{} // keys holding our pending write
 	writes  map[string]bufWrite // retained write set (commit log)
 	done    bool
+	tr      *trace.Active // nil unless head-sampled
 }
 
 func (e *Engine) beginTimestamp(id uint64) *tsoTx {
@@ -39,6 +41,11 @@ func (e *Engine) beginTimestamp(id uint64) *tsoTx {
 		pending: make(map[string]struct{}),
 		writes:  make(map[string]bufWrite),
 	}
+	if e.traces != nil {
+		// The serial order is fixed at begin, so the TN index is too.
+		t.tr = e.traces.Start(id, obs.ProtoTO.String())
+		t.tr.CommitTN(t.tn)
+	}
 	e.rec.RecordBegin(id, engine.ReadWrite)
 	return t
 }
@@ -50,14 +57,16 @@ func (e *Engine) beginTimestamp(id uint64) *tsoTx {
 // is attributed to the T/O read phase.
 func (t *tsoTx) Get(key string) ([]byte, error) {
 	ph := t.e.phases
-	if ph == nil {
+	if ph == nil && t.tr == nil {
 		return t.get(key)
 	}
 	ph.PprofEnter(obs.ProtoTO, obs.PhaseRead)
 	start := time.Now()
 	v, err := t.get(key)
-	ph.Record(obs.ProtoTO, obs.PhaseRead, t.id, time.Since(start))
+	d := time.Since(start)
+	ph.Record(obs.ProtoTO, obs.PhaseRead, t.id, d)
 	ph.PprofExit()
+	t.tr.Span(obs.PhaseRead.String(), start, d)
 	return v, err
 }
 
@@ -123,14 +132,14 @@ func (t *tsoTx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
 	}
-	if err := t.e.appendWAL(obs.ProtoTO, t.id, t.tn, t.writes); err != nil {
+	if err := t.e.appendWAL(obs.ProtoTO, t.id, t.tn, t.writes, t.tr); err != nil {
 		t.abortInternal()
 		return fmt.Errorf("core: commit log: %w", err)
 	}
 	t.done = true
 	ph := t.e.phases
 	var tIns time.Time
-	if ph != nil {
+	if ph != nil || t.tr != nil {
 		ph.PprofEnter(obs.ProtoTO, obs.PhaseInstall)
 		tIns = time.Now()
 	}
@@ -138,12 +147,14 @@ func (t *tsoTx) Commit() error {
 		t.e.store.GetOrCreate(key).ResolvePending(t.tn, true)
 		t.e.rec.RecordWrite(t.id, key, t.tn)
 	}
-	if ph != nil {
-		ph.Record(obs.ProtoTO, obs.PhaseInstall, t.id, time.Since(tIns))
+	if ph != nil || t.tr != nil {
+		d := time.Since(tIns)
+		ph.Record(obs.ProtoTO, obs.PhaseInstall, t.id, d)
 		ph.PprofExit()
+		t.tr.Span(obs.PhaseInstall.String(), tIns, d)
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
-	t.e.complete(t.entry)
+	t.e.complete(t.entry, t.tr)
 	t.e.stats.CommitsRW.Inc()
 	return nil
 }
@@ -167,6 +178,7 @@ func (t *tsoTx) abortInternal() {
 	}
 	t.e.vc.Discard(t.entry)
 	t.e.rec.RecordAbort(t.id)
+	t.tr.FinishAbort()
 }
 
 // ID implements engine.Tx.

@@ -9,6 +9,7 @@ import (
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 	"mvdb/internal/vc"
 )
 
@@ -31,7 +32,8 @@ type twoPhaseTx struct {
 	entry *vc.Entry // ablation A1 only: registered at begin
 	buf   map[string]bufWrite
 	done  bool
-	tn    uint64 // assigned at commit
+	tn    uint64        // assigned at commit
+	tr    *trace.Active // nil unless this transaction was head-sampled
 }
 
 type bufWrite struct {
@@ -42,6 +44,9 @@ type bufWrite struct {
 func (e *Engine) beginTwoPhase(id uint64) *twoPhaseTx {
 	e.locks.Begin(id, e.ages.Add(1))
 	t := &twoPhaseTx{e: e, id: id, buf: make(map[string]bufWrite)}
+	if e.traces != nil {
+		t.tr = e.traces.Start(id, obs.Proto2PL.String())
+	}
 	if e.opts.UnsafeEarlyRegister2PL {
 		t.entry = e.vc.Register() // A1: serial order NOT yet fixed — wrong on purpose
 	}
@@ -158,16 +163,18 @@ func (t *twoPhaseTx) Commit() error {
 		entry = t.e.vc.Register() // the lock-point has been passed
 	}
 	t.tn = entry.TN()
+	t.tr.CommitTN(t.tn)
 
-	if err := t.e.appendWAL(obs.Proto2PL, t.id, t.tn, t.buf); err != nil {
+	if err := t.e.appendWAL(obs.Proto2PL, t.id, t.tn, t.buf, t.tr); err != nil {
 		t.e.vc.Discard(entry)
 		t.e.locks.ReleaseAll(t.id)
 		t.e.rec.RecordAbort(t.id)
+		t.tr.FinishAbort()
 		return fmt.Errorf("core: commit log: %w", err)
 	}
 	ph := t.e.phases
 	var tIns time.Time
-	if ph != nil {
+	if ph != nil || t.tr != nil {
 		ph.PprofEnter(obs.Proto2PL, obs.PhaseInstall)
 		tIns = time.Now()
 	}
@@ -176,14 +183,16 @@ func (t *twoPhaseTx) Commit() error {
 		o.InstallCommitted(storage.Version{TN: t.tn, Data: w.data, Tombstone: w.tombstone})
 		t.e.rec.RecordWrite(t.id, key, t.tn)
 	}
-	if ph != nil {
-		ph.Record(obs.Proto2PL, obs.PhaseInstall, t.id, time.Since(tIns))
+	if ph != nil || t.tr != nil {
+		d := time.Since(tIns)
+		ph.Record(obs.Proto2PL, obs.PhaseInstall, t.id, d)
 		ph.PprofExit()
+		t.tr.Span(obs.PhaseInstall.String(), tIns, d)
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
 
 	t.e.locks.ReleaseAll(t.id)
-	t.e.complete(entry)
+	t.e.complete(entry, t.tr)
 	t.e.stats.CommitsRW.Inc()
 	return nil
 }
@@ -207,6 +216,7 @@ func (t *twoPhaseTx) abortInternal() {
 		t.e.vc.Discard(t.entry)
 	}
 	t.e.rec.RecordAbort(t.id)
+	t.tr.FinishAbort()
 }
 
 // ID implements engine.Tx.

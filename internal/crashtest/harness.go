@@ -12,6 +12,7 @@ import (
 	"mvdb/internal/faultfs"
 	"mvdb/internal/history"
 	"mvdb/internal/storage"
+	"mvdb/internal/trace"
 	"mvdb/internal/wal"
 )
 
@@ -50,7 +51,13 @@ func Configs() []Config {
 }
 
 func openEngine(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder) (*core.Engine, *wal.Writer, error) {
-	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Recorder: rec},
+	return openEngineTraced(fsys, walPath, cfg, rec, nil)
+}
+
+// openEngineTraced additionally attaches a per-transaction span tracer,
+// so torture rounds can ship causal traces in their postmortem bundles.
+func openEngineTraced(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder, spans *trace.Tracer) (*core.Engine, *wal.Writer, error) {
+	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Recorder: rec, Traces: spans},
 		core.DurableOptions{FS: fsys, WAL: cfg.walOptions()})
 }
 

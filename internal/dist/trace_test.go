@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/trace"
+)
+
+// TestDistTraceOneIDAcrossSites pins the cross-site propagation
+// contract: a distributed commit produces ONE trace whose spans name
+// every participant site — the coordinator does not mint per-site trace
+// IDs, it attributes per-site spans under its own.
+func TestDistTraceOneIDAcrossSites(t *testing.T) {
+	spans := trace.New(trace.Options{Sample: 1, SlowNS: 1})
+	c, err := New(Options{Sites: 3, Traces: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin(engine.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := keyAt(c, 0, "a")
+	k1 := keyAt(c, 1, "b")
+	k2 := keyAt(c, 2, "c")
+	for _, k := range []string{k0, k1, k2} {
+		if err := tx.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := tx.SN()
+
+	prom := spans.Promoted()
+	if len(prom) != 1 {
+		t.Fatalf("promoted %d traces, want exactly 1 (one ID per distributed tx)", len(prom))
+	}
+	tr := prom[0]
+	if tr.ID == 0 {
+		t.Fatal("trace has no ID")
+	}
+	if tr.Proto != "dist-2pc" {
+		t.Fatalf("proto = %q", tr.Proto)
+	}
+	if tr.TN != tn {
+		t.Fatalf("trace TN = %d, commit TN = %d", tr.TN, tn)
+	}
+	// Every site contributed prepare, adopt and commit spans, all under
+	// this single trace.
+	seen := map[int]map[string]bool{}
+	for _, s := range tr.Spans {
+		if seen[s.Site] == nil {
+			seen[s.Site] = map[string]bool{}
+		}
+		seen[s.Site][s.Name] = true
+	}
+	for site := 0; site < 3; site++ {
+		for _, phase := range []string{"prepare", "adopt", "commit"} {
+			if !seen[site][phase] {
+				t.Fatalf("site %d missing %q span; spans: %+v", site, phase, tr.Spans)
+			}
+		}
+	}
+
+	// Aborted distributed transactions finalize (and promote) too.
+	tx2, _ := c.Begin(engine.ReadWrite)
+	if err := tx2.Put(keyAt(c, 1, "d"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	prom = spans.Promoted()
+	if len(prom) != 2 || prom[1].Outcome != "abort" {
+		t.Fatalf("aborted dist trace not retained: %+v", prom)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"mvdb/internal/faultfs"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
+	"mvdb/internal/trace"
 )
 
 // SchemaVersion identifies the bundle format. Bump on any
@@ -55,6 +56,11 @@ type Sources struct {
 	Audit func() audit.Snapshot
 	// WaitGraph exports the lock manager's waits-for graph.
 	WaitGraph func() lock.WaitGraph
+	// Traces returns the promoted per-transaction causal traces. The
+	// tap is called at assembly time, so it may first promote the
+	// freshest sampled traces ("this bundle is the anomaly — keep the
+	// evidence") before returning.
+	Traces func() []trace.Trace
 }
 
 // Options configures a Recorder.
@@ -101,6 +107,7 @@ type Bundle struct {
 	Trace     []obs.Event     `json:"trace,omitempty"`
 	Audit     *audit.Snapshot `json:"audit,omitempty"`
 	WaitGraph *lock.WaitGraph `json:"wait_graph,omitempty"`
+	Traces    []trace.Trace   `json:"traces,omitempty"`
 }
 
 // Recorder is the running black box. Create with New, stop with Close.
@@ -270,6 +277,9 @@ func (r *Recorder) assemble(reason, detail string) Bundle {
 	if r.src.WaitGraph != nil {
 		g := r.src.WaitGraph()
 		b.WaitGraph = &g
+	}
+	if r.src.Traces != nil {
+		b.Traces = r.src.Traces()
 	}
 	return b
 }

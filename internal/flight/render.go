@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mvdb/internal/metrics"
+	"mvdb/internal/trace"
 )
 
 // Render writes a human-readable postmortem report for a bundle:
@@ -67,6 +68,13 @@ func Render(b *Bundle, w io.Writer) {
 		fmt.Fprintf(w, "\n== waits-for graph (%d waiters) ==\n", g.Waiters)
 		for _, e := range g.Edges {
 			fmt.Fprintf(w, "  tx %d --[%s %q]--> tx %d\n", e.From, e.Mode, e.Key, e.To)
+		}
+	}
+
+	if len(b.Traces) > 0 {
+		fmt.Fprintf(w, "\n== causal traces (%d promoted) ==\n", len(b.Traces))
+		for i := range b.Traces {
+			trace.Waterfall(w, b.Traces[i])
 		}
 	}
 

@@ -49,6 +49,9 @@ type Collector struct {
 
 	// onPass observes completed collection passes; see SetOnPass.
 	onPass func(reclaimed int, watermark uint64, elapsed time.Duration)
+	// onChain observes per-object version-chain lengths; see
+	// SetChainObserver.
+	onChain func(depth int)
 }
 
 // SetOnPass installs fn, invoked after every collection pass with the
@@ -58,6 +61,17 @@ type Collector struct {
 // the caller of Collect).
 func (c *Collector) SetOnPass(fn func(reclaimed int, watermark uint64, elapsed time.Duration)) {
 	c.onPass = fn
+}
+
+// SetChainObserver installs fn, invoked once per object per collection
+// pass with the object's version-chain length as GC found it (before
+// pruning). It feeds the chain-length histogram: the distribution of
+// retained-version depth the collector is actually walking, which is the
+// leading indicator of GC falling behind the update rate. Set it before
+// Start; it runs on the collector goroutine with no store locks beyond
+// the object's own.
+func (c *Collector) SetChainObserver(fn func(depth int)) {
+	c.onChain = fn
 }
 
 // New creates a collector. interval is the background period for Start
@@ -89,6 +103,9 @@ func (c *Collector) Collect() int {
 	w := c.Watermark()
 	n := 0
 	c.src.Store().Range(func(_ string, o *storage.Object) bool {
+		if c.onChain != nil {
+			c.onChain(o.VersionCount())
+		}
 		n += o.Prune(w)
 		return true
 	})

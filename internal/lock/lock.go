@@ -165,7 +165,7 @@ type Manager struct {
 	// onWait observes every blocked request when its wait ends; see
 	// SetWaitObserver. onBlock observes it when the wait begins; see
 	// SetBlockObserver. Both run outside every manager mutex.
-	onWait  func(txID uint64, key string, wait time.Duration)
+	onWait  func(txID uint64, key string, stripe int, blocker uint64, wait time.Duration)
 	onBlock func(txID uint64, key string)
 }
 
@@ -205,8 +205,12 @@ func NewManagerStriped(policy Policy, timeout time.Duration, stripes int) *Manag
 	return m
 }
 
+func (m *Manager) stripeIdx(key string) int {
+	return int(maphash.String(m.seed, key) & uint64(len(m.stripes)-1))
+}
+
 func (m *Manager) stripeFor(key string) *stripe {
-	return &m.stripes[maphash.String(m.seed, key)&uint64(len(m.stripes)-1)]
+	return &m.stripes[m.stripeIdx(key)]
 }
 
 // lockStripe takes s.mu, counting the acquisition as a collision when
@@ -242,13 +246,16 @@ func (m *Manager) Begin(txID, age uint64) {
 }
 
 // SetWaitObserver installs fn, called once per blocked request when its
-// wait ends — granted or failed — with the requester, the key, and the
-// time spent blocked. The callback runs on the waiter's own goroutine
-// with no manager, stripe or transaction mutex held, so a slow observer
-// can never stall lock traffic on any key (TestSlowWaitObserver pins
-// this down). It must be installed before the manager sees concurrent
-// use (engines set it at construction).
-func (m *Manager) SetWaitObserver(fn func(txID uint64, key string, wait time.Duration)) {
+// wait ends — granted or failed — with the requester, the key, the
+// key's lock-table stripe, the transaction it was first queued behind
+// (the blame edge for causal tracing; 0 if the conflict vanished before
+// it was captured), and the time spent blocked. The callback runs on
+// the waiter's own goroutine with no manager, stripe or transaction
+// mutex held, so a slow observer can never stall lock traffic on any
+// key (TestSlowWaitObserver pins this down). It must be installed
+// before the manager sees concurrent use (engines set it at
+// construction).
+func (m *Manager) SetWaitObserver(fn func(txID uint64, key string, stripe int, blocker uint64, wait time.Duration)) {
 	m.onWait = fn
 }
 
@@ -299,6 +306,30 @@ func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
 		return nil
 	}
 
+	// Capture the blame edge while the stripe mutex still pins the
+	// conflict: the first conflicting holder, or failing that the first
+	// conflicting request queued ahead. By the time the wait ends the
+	// blocker may be long gone, so this is the only moment the causal
+	// edge is observable.
+	var blocker uint64
+	for h, hm := range ls.holders {
+		if h == tx {
+			continue
+		}
+		if upgrade || mode == Exclusive || hm == Exclusive {
+			blocker = h.id
+			break
+		}
+	}
+	if blocker == 0 && !upgrade {
+		for _, r := range ls.queue {
+			if r.tx != tx && (mode == Exclusive || r.mode == Exclusive) {
+				blocker = r.tx.id
+				break
+			}
+		}
+	}
+
 	req := &request{tx: tx, key: key, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
 	tx.mu.Lock()
 	if tx.wounded {
@@ -346,7 +377,7 @@ func (m *Manager) Acquire(txID uint64, key string, mode Mode) error {
 	waitStart := time.Now()
 	err := m.await(req)
 	if m.onWait != nil {
-		m.onWait(txID, key, time.Since(waitStart))
+		m.onWait(txID, key, m.stripeIdx(key), blocker, time.Since(waitStart))
 	}
 	return err
 }

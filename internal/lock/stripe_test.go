@@ -29,7 +29,7 @@ func TestSlowWaitObserver(t *testing.T) {
 	m := NewManager(Detect, 0)
 	release := make(chan struct{})
 	var observed atomic.Int32
-	m.SetWaitObserver(func(txID uint64, key string, wait time.Duration) {
+	m.SetWaitObserver(func(txID uint64, key string, stripe int, blocker uint64, wait time.Duration) {
 		observed.Add(1)
 		<-release // hold the observer hostage
 	})

@@ -20,7 +20,11 @@
 package obs
 
 import (
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"mvdb/internal/metrics"
 )
@@ -84,6 +88,19 @@ type Stats struct {
 	// Garbage collection: passes run and versions reclaimed.
 	GCPasses    Counter
 	GCReclaimed Counter
+
+	// GCChainDepth records the version-chain length of each object the
+	// collector visits (sampled during GC passes, before pruning): the
+	// chain-shape distribution GC exists to keep short. Count-valued,
+	// like WALBatchSize.
+	GCChainDepth *metrics.Histogram
+	// GCBacklog records the versions reclaimed by each GC pass — the
+	// backlog of prunable garbage that had accumulated between passes.
+	// Count-valued.
+	GCBacklog *metrics.Histogram
+
+	// start anchors the uptime gauge.
+	start time.Time
 }
 
 // NewStats returns an empty registry.
@@ -91,8 +108,24 @@ func NewStats() *Stats {
 	return &Stats{
 		LockWaitNanos: metrics.NewHistogram(),
 		WALBatchSize:  metrics.NewHistogram(),
+		GCChainDepth:  metrics.NewHistogram(),
+		GCBacklog:     metrics.NewHistogram(),
+		start:         time.Now(),
 	}
 }
+
+// buildRevision reads the module's VCS revision once (empty outside a
+// stamped build, e.g. under `go test`).
+var buildRevision = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+})
 
 // Snapshot is a point-in-time view of the registry plus the gauges the
 // engine fills in (version control counters, storage shape, lock and
@@ -150,6 +183,11 @@ type Snapshot struct {
 
 	GCPasses    int64 `json:"gc_passes"`
 	GCReclaimed int64 `json:"gc_reclaimed"`
+	// GCChainDepth summarizes version-chain lengths sampled during GC
+	// passes and GCBacklog the versions reclaimed per pass; both are
+	// count-valued (the summary's nanosecond fields hold counts).
+	GCChainDepth metrics.Summary `json:"gc_chain_depth"`
+	GCBacklog    metrics.Summary `json:"gc_backlog"`
 
 	// Version control gauges (paper Section 6). VTNC is read before
 	// TNC, and both counters only grow, so VTNC < TNC holds in every
@@ -174,6 +212,16 @@ type Snapshot struct {
 	// transaction's time went — CC conflict resolution, WAL enqueue vs
 	// group-commit fsync wait, version install, register→visible lag.
 	Phases []PhaseSummary `json:"phases,omitempty"`
+
+	// Process health: liveness basics for dashboards and the future
+	// server binary. UptimeSeconds counts from the engine's stats
+	// registry creation; GoVersion/BuildRevision identify the build
+	// (revision empty outside VCS-stamped builds).
+	Goroutines    int     `json:"goroutines"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	BuildRevision string  `json:"build_revision,omitempty"`
 
 	// Extra carries engine-specific counters with no typed field
 	// (adaptive switches, distributed bus traffic, ...).
@@ -203,6 +251,13 @@ func (s *Stats) Snapshot() Snapshot {
 	sn.WALBatchSize = s.WALBatchSize.Summarize()
 	sn.GCPasses = s.GCPasses.Load()
 	sn.GCReclaimed = s.GCReclaimed.Load()
+	sn.GCChainDepth = s.GCChainDepth.Summarize()
+	sn.GCBacklog = s.GCBacklog.Summarize()
+	sn.Goroutines = runtime.NumGoroutine()
+	sn.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	sn.UptimeSeconds = time.Since(s.start).Seconds()
+	sn.GoVersion = runtime.Version()
+	sn.BuildRevision = buildRevision()
 	return sn
 }
 
@@ -242,6 +297,9 @@ func (sn Snapshot) Map() map[string]int64 {
 		"wal.batches":     sn.WALBatches,
 		"gc.passes":       sn.GCPasses,
 		"gc.pruned":       sn.GCReclaimed,
+		"gc.chain.max":    sn.GCChainDepth.Max,
+		"gc.backlog.max":  sn.GCBacklog.Max,
+		"goroutines":      int64(sn.Goroutines),
 		"vc.tnc":          int64(sn.TNC),
 		"vc.vtnc":         int64(sn.VTNC),
 		"vc.lag":          int64(sn.VisibilityLag),

@@ -190,10 +190,11 @@ func TestEventJSONRoundTrip(t *testing.T) {
 }
 
 // Every event type — including EvSnapshot, which carries the read-only
-// start number in TN — must survive the JSON round trip, and unknown
-// type names must decode without error.
+// start number in TN, and the span/blame pair emitted for promoted
+// traces — must survive the JSON round trip, and unknown type names
+// must decode without error.
 func TestEventJSONRoundTripAllTypes(t *testing.T) {
-	for ty := EvBegin; ty <= EvSnapshot; ty++ {
+	for ty := EvBegin; ty <= EvBlame; ty++ {
 		in := Event{Seq: 1, At: 2, Type: ty, Tx: 3, TN: 4}
 		b, err := json.Marshal(in)
 		if err != nil {

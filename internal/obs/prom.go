@@ -166,6 +166,22 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 	p.Int("mvdb_gc_passes_total", sn.GCPasses)
 	p.Header("mvdb_gc_reclaimed_total", "counter", "Versions reclaimed by garbage collection.")
 	p.Int("mvdb_gc_reclaimed_total", sn.GCReclaimed)
+	if sn.GCChainDepth.Count > 0 {
+		p.Header("mvdb_gc_chain_depth", "summary", "Version-chain length per object as seen by GC passes, before pruning.")
+		p.Value("mvdb_gc_chain_depth", float64(sn.GCChainDepth.P50), "quantile", "0.5")
+		p.Value("mvdb_gc_chain_depth", float64(sn.GCChainDepth.P90), "quantile", "0.9")
+		p.Value("mvdb_gc_chain_depth", float64(sn.GCChainDepth.P99), "quantile", "0.99")
+		p.Int("mvdb_gc_chain_depth_sum", sn.GCChainDepth.TotalNanoseconds)
+		p.Int("mvdb_gc_chain_depth_count", int64(sn.GCChainDepth.Count))
+	}
+	if sn.GCBacklog.Count > 0 {
+		p.Header("mvdb_gc_backlog", "summary", "Versions reclaimed per GC pass (the backlog each pass found).")
+		p.Value("mvdb_gc_backlog", float64(sn.GCBacklog.P50), "quantile", "0.5")
+		p.Value("mvdb_gc_backlog", float64(sn.GCBacklog.P90), "quantile", "0.9")
+		p.Value("mvdb_gc_backlog", float64(sn.GCBacklog.P99), "quantile", "0.99")
+		p.Int("mvdb_gc_backlog_sum", sn.GCBacklog.TotalNanoseconds)
+		p.Int("mvdb_gc_backlog_count", int64(sn.GCBacklog.Count))
+	}
 
 	p.Header("mvdb_tnc", "gauge", "Transaction number counter (next serialization position).")
 	p.Int("mvdb_tnc", int64(sn.TNC))
@@ -199,6 +215,15 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 			}
 		}
 	}
+
+	p.Header("mvdb_build_info", "gauge", "Process build identity (constant 1; identity in labels).")
+	p.Int("mvdb_build_info", 1, "go_version", sn.GoVersion, "revision", sn.BuildRevision)
+	p.Header("mvdb_goroutines", "gauge", "Live goroutines in the process.")
+	p.Int("mvdb_goroutines", int64(sn.Goroutines))
+	p.Header("mvdb_gomaxprocs", "gauge", "GOMAXPROCS in force.")
+	p.Int("mvdb_gomaxprocs", int64(sn.GOMAXPROCS))
+	p.Header("mvdb_uptime_seconds", "gauge", "Seconds since the stats registry was created (engine open).")
+	p.Value("mvdb_uptime_seconds", sn.UptimeSeconds)
 
 	if len(sn.Extra) > 0 {
 		p.Header("mvdb_extra", "untyped", "Engine-specific counters without a typed field.")

@@ -212,6 +212,8 @@ func TestWritePromCompleteness(t *testing.T) {
 		"WALFsyncPerAppend":    "mvdb_wal_fsync_per_append",
 		"GCPasses":             "mvdb_gc_passes_total",
 		"GCReclaimed":          "mvdb_gc_reclaimed_total",
+		"GCChainDepth":         "mvdb_gc_chain_depth",
+		"GCBacklog":            "mvdb_gc_backlog",
 		"TNC":                  "mvdb_tnc",
 		"VTNC":                 "mvdb_vtnc",
 		"VisibilityLag":        "mvdb_visibility_lag",
@@ -222,6 +224,11 @@ func TestWritePromCompleteness(t *testing.T) {
 		"MeanVersionChain":     "mvdb_version_chain_mean",
 		"StoreWaits":           "mvdb_store_waits_total",
 		"Phases":               "mvdb_phase_seconds",
+		"Goroutines":           "mvdb_goroutines",
+		"GOMAXPROCS":           "mvdb_gomaxprocs",
+		"UptimeSeconds":        "mvdb_uptime_seconds",
+		"GoVersion":            "mvdb_build_info",
+		"BuildRevision":        "mvdb_build_info",
 		"Extra":                "mvdb_extra",
 	}
 
@@ -230,6 +237,9 @@ func TestWritePromCompleteness(t *testing.T) {
 	sv := reflect.ValueOf(s).Elem()
 	for i := 0; i < sv.NumField(); i++ {
 		f := sv.Type().Field(i)
+		if !f.IsExported() {
+			continue // internal plumbing (e.g. the uptime epoch), not a metric
+		}
 		if _, ok := families[f.Name]; !ok {
 			t.Errorf("Stats.%s has no Prometheus family mapping; export it in WriteProm and add it here", f.Name)
 			continue

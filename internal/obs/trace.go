@@ -33,9 +33,19 @@ const (
 	// slowest its (protocol, phase) cell has seen. Key is
 	// "protocol/phase", Tx the transaction, Dur the sample.
 	EvPhase
+	// EvSpan is a promoted transaction trace: Tx is the transaction, TN
+	// its serialization number, Key "protocol/promotion-reason", Dur the
+	// trace's begin→visible total, N its span count (internal/trace).
+	EvSpan
+	// EvBlame is one causal blame edge of a promoted trace: Key is
+	// "kind:detail" (blocked-on:key, joined-batch:, queued-behind:), Tx
+	// the blamed transaction (lock holder, batch leader, or queue head),
+	// Dur the span the edge explains, N the kind-specific magnitude
+	// (queue depth, batch records, lock stripe).
+	EvBlame
 )
 
-var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc", "snapshot", "phase"}
+var evNames = [...]string{"begin", "read", "write", "commit", "abort", "lock-wait", "gc", "snapshot", "phase", "span", "blame"}
 
 func (t EventType) String() string {
 	if int(t) < len(evNames) {

@@ -1,0 +1,8 @@
+package trace
+
+// Decide exposes the tail-retention rule to tests: the promotion
+// decision for a (protocol, total, outcome) triple, advancing the
+// per-protocol history exactly as finalize would.
+func (t *Tracer) Decide(proto string, totalNS int64, outcome string) string {
+	return t.decide(proto, totalNS, outcome)
+}

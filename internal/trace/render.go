@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mvdb/internal/metrics"
+)
+
+const barWidth = 40
+
+// Waterfall renders one trace as an ASCII span waterfall with blame
+// edges, for mvinspect -trace:
+//
+//	trace 01c8f3… vc+2pl tx=42 tn=107 commit (slow) total=1.83ms
+//	  lock-wait    412µs  |   ████████                                |  ⇐ blocked-on tx 17 key "a" stripe 3
+//	  fsync-wait   902µs  |            ███████████████████            |  ⇐ joined-batch 12 leader-tn 101 records 7
+//	  visible-wait 310µs  |                               ███████     |  ⇐ queued-behind tn 106 depth 3
+func Waterfall(w io.Writer, tr Trace) {
+	head := fmt.Sprintf("trace %016x %s tx=%d", tr.ID, tr.Proto, tr.Tx)
+	if tr.TN != 0 {
+		head += fmt.Sprintf(" tn=%d", tr.TN)
+	}
+	head += " " + tr.Outcome
+	if tr.Promoted != "" {
+		head += " (" + tr.Promoted + ")"
+	}
+	head += " total=" + metrics.Dur(tr.TotalNS)
+	if tr.Site != 0 {
+		head += fmt.Sprintf(" site=%d", tr.Site)
+	}
+	if tr.DroppedSpans > 0 {
+		head += fmt.Sprintf(" dropped-spans=%d", tr.DroppedSpans)
+	}
+	fmt.Fprintln(w, head)
+
+	spans := sortSpans(tr.Spans)
+	// Scale over [trace start, latest span end or trace end].
+	end := tr.StartNS + tr.TotalNS
+	for _, sp := range spans {
+		if e := sp.StartNS + sp.DurNS; e > end {
+			end = e
+		}
+	}
+	span := end - tr.StartNS
+	if span <= 0 {
+		span = 1
+	}
+
+	// Blame edges annotate the first span with a matching phase name.
+	blameFor := make(map[string][]Blame)
+	for _, b := range tr.Blames {
+		blameFor[b.Phase] = append(blameFor[b.Phase], b)
+	}
+
+	nameW, durW := 0, 0
+	durs := make([]string, len(spans))
+	for i, sp := range spans {
+		if len(sp.Name) > nameW {
+			nameW = len(sp.Name)
+		}
+		durs[i] = metrics.Dur(sp.DurNS)
+		if len(durs[i]) > durW {
+			durW = len(durs[i])
+		}
+	}
+	used := make(map[string]bool)
+	for i, sp := range spans {
+		lo := int((sp.StartNS - tr.StartNS) * barWidth / span)
+		hi := int((sp.StartNS + sp.DurNS - tr.StartNS) * barWidth / span)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > barWidth {
+			hi = barWidth
+		}
+		if hi <= lo {
+			hi = lo + 1
+			if hi > barWidth {
+				lo, hi = barWidth-1, barWidth
+			}
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo) + strings.Repeat(" ", barWidth-hi)
+		name := sp.Name
+		if sp.Site >= 0 {
+			name = fmt.Sprintf("%s@%d", sp.Name, sp.Site)
+		}
+		line := fmt.Sprintf("  %-*s %*s  |%s|", nameW+3, name, durW, durs[i], bar)
+		if !used[sp.Name] {
+			used[sp.Name] = true
+			for _, b := range blameFor[sp.Name] {
+				line += "  ⇐ " + b.String()
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	// Blames whose phase produced no span (dropped, or cross-cutting)
+	// still surface.
+	for _, b := range tr.Blames {
+		if !used[b.Phase] {
+			fmt.Fprintf(w, "  ⇐ %s (phase %s)\n", b.String(), b.Phase)
+		}
+	}
+}

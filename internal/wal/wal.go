@@ -128,6 +128,41 @@ type Writer struct {
 	// onBatch observes each group-commit batch's record count; see
 	// SetBatchObserver.
 	onBatch func(records int)
+
+	// Group-commit provenance for causal tracing (all under mu): the TN
+	// of the first record enqueued into the currently forming batch (its
+	// leader) and a small ring of completed batches' ticket coverage,
+	// scanned by traced appenders to learn which batch their ticket rode.
+	leaderTN   uint64
+	haveLeader bool
+	batchLog   [batchLogSize]batchSpan
+	batchLogN  uint64
+}
+
+// batchLogSize bounds the completed-batch ring. A waiter learns its
+// batch immediately after being broadcast, so it only needs the ring to
+// outlive the handful of batches that can complete between its wake-up
+// and its scan; 64 is generous.
+const batchLogSize = 64
+
+// batchSpan is one completed group-commit batch's ticket coverage.
+type batchSpan struct {
+	lo, hi  uint64 // inclusive ticket range the fsync covered
+	batch   uint64 // batch ordinal (Batches() value once completed)
+	leader  uint64 // TN of the record that opened the batch
+	records int
+}
+
+// BatchInfo identifies the fsync coverage a traced append rode: Batch
+// is the group-commit batch ordinal (the fsync ordinal under
+// SyncEveryCommit), LeaderTN the transaction number of the record that
+// opened the batch, Records how many records the fsync covered. The
+// zero BatchInfo means no recorded batch covered the append (SyncNever,
+// an inline Flush straggler, or coverage already evicted from the ring).
+type BatchInfo struct {
+	Batch    uint64 `json:"batch"`
+	LeaderTN uint64 `json:"leader_tn"`
+	Records  int    `json:"records"`
 }
 
 // Counters reports lifetime log volume: records appended, fsyncs
@@ -233,7 +268,7 @@ func OpenAppendWith(path string, validLen int64, opts Options) (*Writer, error) 
 // SyncEveryCommit and SyncBatch; under SyncBatch the caller blocked on a
 // shared fsync ticket rather than issuing its own.
 func (w *Writer) Append(r Record) error {
-	_, _, err := w.append(r, false)
+	_, _, _, err := w.append(r, false, false)
 	return err
 }
 
@@ -246,10 +281,18 @@ func (w *Writer) Append(r Record) error {
 // is non-nil. The phase-attribution layer calls this; everyone else
 // uses Append and pays no timestamping.
 func (w *Writer) AppendTimed(r Record) (enqueueNS, syncWaitNS int64, err error) {
-	return w.append(r, true)
+	_, enqueueNS, syncWaitNS, err = w.append(r, true, false)
+	return enqueueNS, syncWaitNS, err
 }
 
-func (w *Writer) append(r Record, timed bool) (enqueueNS, syncWaitNS int64, err error) {
+// AppendTraced is AppendTimed plus group-commit provenance: it also
+// reports which fsync batch covered the record (see BatchInfo), the
+// joined-batch blame edge of causal tracing.
+func (w *Writer) AppendTraced(r Record) (info BatchInfo, enqueueNS, syncWaitNS int64, err error) {
+	return w.append(r, true, true)
+}
+
+func (w *Writer) append(r Record, timed, traced bool) (info BatchInfo, enqueueNS, syncWaitNS int64, err error) {
 	payload := encodePayload(nil, r)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -262,16 +305,16 @@ func (w *Writer) append(r Record, timed bool) (enqueueNS, syncWaitNS int64, err 
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return 0, 0, errors.New("wal: writer closed")
+		return info, 0, 0, errors.New("wal: writer closed")
 	}
 	if w.syncErr != nil {
-		return 0, 0, w.syncErr
+		return info, 0, 0, w.syncErr
 	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return 0, 0, fmt.Errorf("wal: append: %w", err)
+		return info, 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := w.bw.Write(payload); err != nil {
-		return 0, 0, fmt.Errorf("wal: append: %w", err)
+		return info, 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.appends.Add(1)
 	w.bytes.Add(uint64(len(hdr) + len(payload)))
@@ -289,12 +332,20 @@ func (w *Writer) append(r Record, timed bool) (enqueueNS, syncWaitNS int64, err 
 			err = fmt.Errorf("wal: sync: %w", err)
 		} else {
 			w.fsyncs.Add(1)
+			if traced {
+				// A degenerate "batch" of one: the record led its own fsync.
+				info = BatchInfo{Batch: w.fsyncs.Load(), LeaderTN: r.TN, Records: 1}
+			}
 		}
 		if timed {
 			syncWaitNS = time.Since(tEnq).Nanoseconds()
 		}
-		return enqueueNS, syncWaitNS, err
+		return info, enqueueNS, syncWaitNS, err
 	case SyncBatch:
+		if !w.haveLeader {
+			w.haveLeader = true
+			w.leaderTN = r.TN
+		}
 		w.enqSeq++
 		seq := w.enqSeq
 		w.wake.Signal()
@@ -305,14 +356,22 @@ func (w *Writer) append(r Record, timed bool) (enqueueNS, syncWaitNS int64, err 
 			syncWaitNS = time.Since(tEnq).Nanoseconds()
 		}
 		if w.syncSeq >= seq {
-			return enqueueNS, syncWaitNS, nil
+			if traced {
+				for i := range w.batchLog {
+					if b := &w.batchLog[i]; b.hi != 0 && b.lo <= seq && seq <= b.hi {
+						info = BatchInfo{Batch: b.batch, LeaderTN: b.leader, Records: b.records}
+						break
+					}
+				}
+			}
+			return info, enqueueNS, syncWaitNS, nil
 		}
 		if w.syncErr != nil {
-			return enqueueNS, syncWaitNS, w.syncErr
+			return info, enqueueNS, syncWaitNS, w.syncErr
 		}
-		return enqueueNS, syncWaitNS, errors.New("wal: writer closed before batch fsync")
+		return info, enqueueNS, syncWaitNS, errors.New("wal: writer closed before batch fsync")
 	}
-	return enqueueNS, syncWaitNS, nil
+	return info, enqueueNS, syncWaitNS, nil
 }
 
 // flusher is the SyncBatch background goroutine: it gathers everything
@@ -363,6 +422,11 @@ func (w *Writer) flusher() {
 			}
 		}
 		target := w.enqSeq
+		// The forming batch is sealed at target: whoever enqueues while
+		// the fsync runs below leads the next batch.
+		leader := w.leaderTN
+		w.haveLeader = false
+		w.leaderTN = 0
 		err := w.bw.Flush()
 		w.mu.Unlock()
 		if err == nil {
@@ -374,6 +438,11 @@ func (w *Writer) flusher() {
 			w.syncErr = fmt.Errorf("wal: batch sync: %w", err)
 		} else if target > w.syncSeq {
 			batch = int(target - w.syncSeq)
+			w.batchLog[w.batchLogN%batchLogSize] = batchSpan{
+				lo: w.syncSeq + 1, hi: target,
+				batch: w.batches.Load() + 1, leader: leader, records: batch,
+			}
+			w.batchLogN++
 			w.syncSeq = target
 			w.fsyncs.Add(1)
 			w.batches.Add(1)
@@ -405,8 +474,11 @@ func (w *Writer) Flush() error {
 	w.fsyncs.Add(1)
 	if w.opts.Policy == SyncBatch && w.enqSeq > w.syncSeq {
 		// The inline fsync covered everything buffered so far; release
-		// any tickets the flusher had not reached yet.
+		// any tickets the flusher had not reached yet. No batchLog entry
+		// is recorded — traced stragglers report a zero BatchInfo.
 		w.syncSeq = w.enqSeq
+		w.haveLeader = false
+		w.leaderTN = 0
 		w.synced.Broadcast()
 	}
 	return nil

@@ -45,6 +45,7 @@ import (
 	"mvdb/internal/gc"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
+	"mvdb/internal/trace"
 	"mvdb/internal/vc"
 	"mvdb/internal/wal"
 )
@@ -201,6 +202,23 @@ type Options struct {
 	// Off — the default — leaves the hot paths with a nil test and zero
 	// extra allocations.
 	PhaseTiming bool
+	// TraceSample enables causal per-transaction tracing at the given
+	// head-sampling rate in [0, 1]: each sampled read-write transaction
+	// records a span tree (one child span per protocol phase, reusing the
+	// PhaseTiming taxonomy) plus causal blame edges — which transaction
+	// held the lock it waited on, which group-commit batch and leader it
+	// fsynced behind, which transaction it queued behind in the
+	// version-control drain. Sampled traces land in a bounded recent
+	// ring; slow (per-protocol p99 or TraceSlowThreshold), aborted, and
+	// alarm-flagged traces are promoted to a tail-retention ring served
+	// by DB.TxTraces, /debug/mvdb/traces (JSON or ?format=chrome for
+	// chrome://tracing), and flight bundles. Zero — the default — keeps
+	// every commit path at a single pointer test with no allocation.
+	TraceSample float64
+	// TraceSlowThreshold promotes any sampled transaction slower than
+	// this outright, before the per-protocol p99 estimate has warmed up
+	// (0 = rely on p99 and aborts alone).
+	TraceSlowThreshold time.Duration
 	// FlightDir enables the black-box flight recorder: a background
 	// sampler keeps recent Stats history, and on an audit alarm (when
 	// Audit is on), a GET of /debug/mvdb/dump (when DebugAddr is set),
@@ -240,6 +258,17 @@ type Flight = flight.Recorder
 // FlightBundle is one postmortem bundle document.
 type FlightBundle = flight.Bundle
 
+// TxTrace is one recorded causal transaction trace: a span tree over the
+// protocol phases plus blame edges naming what the transaction actually
+// waited on (see Options.TraceSample).
+type TxTrace = trace.Trace
+
+// TxTracer collects, retains and exports TxTraces.
+type TxTracer = trace.Tracer
+
+// TxBlame is one causal blame edge within a TxTrace.
+type TxBlame = trace.Blame
+
 // DB is an open database.
 type DB struct {
 	eng       *core.Engine     // underlying engine (read-only paths, GC, stats)
@@ -248,6 +277,7 @@ type DB struct {
 	collector *gc.Collector
 	log       *wal.Writer
 	tracer    *obs.Tracer      // nil unless DebugAddr/TraceEvents
+	spans     *trace.Tracer    // nil unless TraceSample > 0
 	auditor   *audit.Auditor   // nil unless Options.Audit
 	flightRec *flight.Recorder // nil unless Options.FlightDir
 	dbg       *obs.DebugServer // nil unless DebugAddr
@@ -268,6 +298,17 @@ func Open(opts Options) (*DB, error) {
 	} else if opts.DebugAddr != "" {
 		tracer = obs.NewTracer(obs.DefaultTraceEvents)
 	}
+	// The span tracer exists before the auditor so alarm hooks can flag
+	// in-flight traces for tail retention, and before the engine so the
+	// core can hand it to every transaction path.
+	var spans *trace.Tracer
+	if opts.TraceSample > 0 {
+		spans = trace.New(trace.Options{
+			Sample: opts.TraceSample,
+			SlowNS: opts.TraceSlowThreshold.Nanoseconds(),
+			Ring:   tracer,
+		})
+	}
 	// The auditor, when enabled, rides the same recorder plumbing the
 	// offline checker uses. It must exist before the engine so core.New
 	// (and WAL recovery) can attach it; the version-control gauges it
@@ -284,6 +325,9 @@ func Open(opts Options) (*DB, error) {
 		auditor = audit.New(audit.Options{
 			Window: opts.AuditWindow,
 			OnAlarm: func(al audit.Alarm) {
+				// Tail retention: an anomaly promotes the freshest sampled
+				// traces before the ring overwrites the evidence.
+				spans.PromoteRecent("audit-"+al.Kind, 8)
 				if r := flightRec.Load(); r != nil {
 					r.TriggerAsync("audit-alarm", al.Kind+": "+al.Message)
 				}
@@ -311,6 +355,7 @@ func Open(opts Options) (*DB, error) {
 		TrackReadOnly: opts.GCInterval > 0,
 		Trace:         tracer,
 		PhaseTiming:   opts.PhaseTiming,
+		Traces:        spans,
 	}
 	if auditor != nil {
 		coreOpts.Recorder = auditor
@@ -348,7 +393,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	auditVC.Store(eng.VC())
 
-	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, auditor: auditor, walPath: opts.WALPath, retries: retries}
+	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
 		eng.SetProtocol(core.Optimistic)
 		db.ad = adaptive.Wrap(eng, adaptive.Options{})
@@ -362,9 +407,13 @@ func Open(opts Options) (*DB, error) {
 		st := eng.Obs()
 		st.GCPasses.Inc()
 		st.GCReclaimed.Add(int64(reclaimed))
+		st.GCBacklog.Record(int64(reclaimed))
 		tracer.Record(obs.Event{
 			Type: obs.EvGC, TN: watermark, N: int64(reclaimed), Dur: elapsed.Nanoseconds(),
 		})
+	})
+	db.collector.SetChainObserver(func(depth int) {
+		eng.Obs().GCChainDepth.Record(int64(depth))
 	})
 	if opts.GCInterval > 0 {
 		db.collector.Start()
@@ -379,6 +428,14 @@ func Open(opts Options) (*DB, error) {
 		}
 		if auditor != nil {
 			src.Audit = auditor.Snapshot
+		}
+		if spans != nil {
+			src.Traces = func() []trace.Trace {
+				// The bundle itself is the anomaly: flag the freshest
+				// sampled traces into tail retention before exporting.
+				spans.PromoteRecent("flight-trigger", 8)
+				return spans.Promoted()
+			}
 		}
 		rec, err := flight.New(src, flight.Options{Dir: opts.FlightDir, Interval: opts.FlightInterval})
 		if err != nil {
@@ -398,6 +455,10 @@ func Open(opts Options) (*DB, error) {
 		if db.flightRec != nil {
 			serveOpts = append(serveOpts,
 				obs.WithHandler("/debug/mvdb/dump", db.flightRec.HTTPHandler()))
+		}
+		if spans != nil {
+			serveOpts = append(serveOpts,
+				obs.WithHandler("/debug/mvdb/traces", spans.HTTPHandler()))
 		}
 		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer, serveOpts...)
 		if err != nil {
@@ -564,6 +625,12 @@ func (db *DB) Stats() Stats {
 // when tracing is disabled. The ring holds the most recent
 // Options.TraceEvents events; older ones have been overwritten.
 func (db *DB) Trace() []TraceEvent { return db.tracer.Dump() }
+
+// TxTraces returns the per-transaction causal trace collector, or nil
+// when Options.TraceSample was zero. TxTraces().Promoted() lists the
+// tail-retained traces (slow, aborted, flagged); TxTraces().Recent()
+// the head-sampled ring. Render one with `mvinspect -trace`.
+func (db *DB) TxTraces() *TxTracer { return db.spans }
 
 // Audit returns the online serializability auditor, or nil when
 // Options.Audit was off. Auditor.Snapshot() reads the live state;
