@@ -22,7 +22,7 @@ func (db *DB) Checkpoint() error {
 	if db.log == nil {
 		return errors.New("mvdb: Checkpoint requires Options.WALPath")
 	}
-	return db.eng.WriteSnapshot(nil, db.walPath)
+	return db.eng.WriteSnapshot(db.fs, db.walPath)
 }
 
 // CompactLog rewrites the commit log at walPath, dropping every record

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// runHealth polls a running database's /debug/mvdb/health endpoint
+// (enabled by mvdb.Options.Health + DebugAddr) and renders the server's
+// sparkline dashboard: one row per metric per resolution level plus the
+// SLO burn-rate states. metric restricts the view to one metric;
+// level to one resolution. Fetch failures reconnect with the same
+// capped backoff as -live.
+func runHealth(addr string, interval time.Duration, count int, metric string, level int) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	url := "http://" + addr + "/debug/mvdb/health?format=sparkline"
+	if metric != "" {
+		url += "&metric=" + metric
+	}
+	if level >= 0 {
+		url += fmt.Sprintf("&level=%d", level)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		body, err := retry(url, 15*time.Second, func() (string, error) {
+			return fetchText(client, url)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvinspect: giving up: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s — %s\n%s", addr, time.Now().Format("15:04:05"), body)
+	}
+}
+
+func fetchText(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return string(data), nil
+}

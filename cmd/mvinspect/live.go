@@ -12,24 +12,54 @@ import (
 	"mvdb/internal/obs"
 )
 
+// retryMax bounds the reconnect loop: after this many consecutive
+// failures the watcher concludes the process is gone, not restarting.
+const retryMax = 8
+
+// retry calls fetch until it succeeds, sleeping with capped exponential
+// backoff between failures (500ms, 1s, 2s, ... capped at maxWait). A
+// live dashboard should ride out a restarting or briefly unreachable
+// process, not die on the first connection refused; only retryMax
+// consecutive failures return the last error.
+func retry[T any](what string, maxWait time.Duration, fetch func() (T, error)) (T, error) {
+	wait := 500 * time.Millisecond
+	for tries := 1; ; tries++ {
+		v, err := fetch()
+		if err == nil {
+			return v, nil
+		}
+		if tries >= retryMax {
+			return v, err
+		}
+		fmt.Fprintf(os.Stderr, "mvinspect: %s: %v (retry %d/%d in %s)\n", what, err, tries, retryMax, wait)
+		time.Sleep(wait)
+		if wait *= 2; wait > maxWait {
+			wait = maxWait
+		}
+	}
+}
+
 // runLive polls a running database's /debug/mvdb endpoint (see
 // mvdb.Options.DebugAddr) and renders each snapshot as a table, with
 // per-interval deltas for the counters that move. count == 0 polls until
-// the process is interrupted.
+// the process is interrupted. Fetch failures reconnect with capped
+// backoff rather than exiting.
 func runLive(addr string, interval time.Duration, count int) {
 	if interval <= 0 {
 		interval = time.Second
 	}
 	url := "http://" + addr + "/debug/mvdb"
-	client := &http.Client{Timeout: interval}
+	client := &http.Client{Timeout: 10 * time.Second}
 	var prev *obs.Payload
 	for i := 0; count == 0 || i < count; i++ {
 		if i > 0 {
 			time.Sleep(interval)
 		}
-		cur, err := fetchPayload(client, url)
+		cur, err := retry(url, 15*time.Second, func() (*obs.Payload, error) {
+			return fetchPayload(client, url)
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mvinspect: %v\n", err)
+			fmt.Fprintf(os.Stderr, "mvinspect: giving up: %v\n", err)
 			os.Exit(1)
 		}
 		// The audit endpoint exists only when the database runs with

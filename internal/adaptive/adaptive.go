@@ -23,6 +23,7 @@ import (
 
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
+	"mvdb/internal/health"
 )
 
 // Options configures the adaptive engine.
@@ -63,6 +64,12 @@ type Engine struct {
 	lastConflict int64
 
 	switches atomic.Uint64
+
+	// When a health monitor is wired (OnHealth), its interval abort
+	// fraction replaces the internal every-N-completions sampling as the
+	// policy input — same thresholds, better-conditioned signal.
+	healthDriven  atomic.Bool
+	healthSignals atomic.Uint64
 }
 
 // New creates an adaptive engine over a fresh core engine.
@@ -122,7 +129,41 @@ func (e *Engine) Stats() map[string]int64 {
 	m := e.inner.Stats()
 	m["adaptive.switches"] = int64(e.switches.Load())
 	m["adaptive.protocol"] = int64(e.inner.Protocol())
+	m["adaptive.health_signals"] = int64(e.healthSignals.Load())
 	return m
+}
+
+// HealthSignals returns how many health signals the policy has consumed.
+func (e *Engine) HealthSignals() uint64 { return e.healthSignals.Load() }
+
+// minHealthOps is the smallest interval transaction count an abort
+// fraction must be computed over before the policy acts on it — a
+// near-idle interval where 1 of 2 transactions aborted is not 50%
+// contention.
+const minHealthOps = 16
+
+// OnHealth consumes one health.Signal per monitor tick (wire it with
+// health.Monitor.Subscribe). The first signal permanently hands the
+// policy over to the health timeline: the internal every-N-completions
+// sampling stops evaluating, and the interval abort fraction drives the
+// same high/low-water thresholds instead. Intervals with fewer than
+// minHealthOps completed transactions are ignored — too few samples to
+// read a conflict rate from.
+func (e *Engine) OnHealth(sig health.Signal) {
+	e.healthDriven.Store(true)
+	e.healthSignals.Add(1)
+	if sig.Point.Ops < minHealthOps {
+		return
+	}
+	rate := sig.Point.AbortFrac
+	switch {
+	case rate >= e.opts.HighWater && e.inner.Protocol() != core.TwoPhaseLocking:
+		// Async for symmetry with finished(): the monitor's tick
+		// goroutine must not block behind the epoch barrier.
+		go e.SwitchTo(core.TwoPhaseLocking)
+	case rate <= e.opts.LowWater && e.inner.Protocol() != core.Optimistic:
+		go e.SwitchTo(core.Optimistic)
+	}
 }
 
 // Close implements engine.Engine.
@@ -145,7 +186,12 @@ func (e *Engine) SwitchTo(p core.Protocol) {
 
 // finished is called as each read-write transaction completes; every
 // Window completions the conflict rate over the window is evaluated.
+// Once a health monitor drives the policy (OnHealth), this becomes a
+// no-op — two uncoordinated controllers would fight over the protocol.
 func (e *Engine) finished() {
+	if e.healthDriven.Load() {
+		return
+	}
 	e.polMu.Lock()
 	e.sinceEval++
 	if e.sinceEval < e.opts.Window {

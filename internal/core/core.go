@@ -394,6 +394,7 @@ func (e *Engine) Snapshot() obs.Snapshot {
 		if a > 0 {
 			sn.WALFsyncPerAppend = float64(f) / float64(a)
 		}
+		sn.WALSizeBytes = e.opts.WAL.Size()
 	}
 	return sn
 }

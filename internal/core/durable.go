@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mvdb/internal/faultfs"
 	"mvdb/internal/storage"
@@ -163,6 +164,7 @@ func RestoreFS(fsys faultfs.FS, base []wal.Record, horizon uint64, path string, 
 // serial order by the Transaction Visibility Property, so this runs
 // safely under any concurrent transaction load.
 func (e *Engine) WriteSnapshot(fsys faultfs.FS, walPath string) error {
+	start := time.Now()
 	if fsys == nil {
 		fsys = faultfs.OS
 	}
@@ -189,7 +191,13 @@ func (e *Engine) WriteSnapshot(fsys faultfs.FS, walPath string) error {
 		}}})
 		return true
 	})
-	return atomicWriteLog(fsys, tmp, final, recs)
+	if err := atomicWriteLog(fsys, tmp, final, recs); err != nil {
+		return err
+	}
+	end := time.Now()
+	e.stats.CheckpointDurationNanos.Set(end.Sub(start).Nanoseconds())
+	e.stats.CheckpointLastUnixNanos.Set(end.UnixNano())
+	return nil
 }
 
 // Compact rewrites the commit log at walPath through fsys (nil =

@@ -51,6 +51,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrCrashed is returned by every operation after a simulated power cut.
@@ -184,7 +185,14 @@ type Fault struct {
 	// filesystem keeps working. With Sticky, every later operation
 	// matching the same rule also fails.
 	Err bool
-	// Sticky keeps an Err rule firing on every subsequent match.
+	// Delay stalls the operation for this long before it executes (a
+	// slow-device model: the fsync that takes tens of milliseconds, the
+	// write absorbed by a saturated disk). The filesystem stays unlocked
+	// during the stall, so only the delayed operation is slow. Ignored
+	// when the same fault also crashes or errors the operation.
+	Delay time.Duration
+	// Sticky keeps an Err or Delay rule firing on every subsequent
+	// match (one-shot otherwise).
 	Sticky bool
 }
 
@@ -335,8 +343,9 @@ func (f *FaultFS) beginLocked(op Op, path string, n int) (Fault, error) {
 	if f.tracing {
 		f.trace = append(f.trace, OpRecord{Index: f.opCount, Op: op, Path: path, N: n})
 	}
+	var delayed Fault
 	for _, rs := range f.rules {
-		if rs.fired && !(rs.rule.Fault.Err && rs.rule.Fault.Sticky) {
+		if rs.fired && !rs.rule.Fault.Sticky {
 			continue
 		}
 		match := false
@@ -364,8 +373,23 @@ func (f *FaultFS) beginLocked(op Op, path string, n int) (Fault, error) {
 		if ft.Err {
 			return ft, ErrInjected
 		}
+		if ft.Delay > delayed.Delay {
+			delayed = ft
+		}
 	}
-	return Fault{}, nil
+	return delayed, nil
+}
+
+// stall sleeps out a Delay fault with the filesystem unlocked, so a
+// scripted stall on one operation does not freeze unrelated ones. The
+// caller must hold f.mu; it is held again on return.
+func (f *FaultFS) stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Unlock()
+	time.Sleep(d)
+	f.mu.Lock()
 }
 
 func (f *FaultFS) state(path string) *fileState {
@@ -387,9 +411,11 @@ func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error
 	if !existed && flag&os.O_CREATE != 0 || existed && flag&os.O_TRUNC != 0 {
 		op = OpCreate
 	}
-	if _, err := f.beginLocked(op, name, 0); err != nil {
+	ft, err := f.beginLocked(op, name, 0)
+	if err != nil {
 		return nil, err
 	}
+	f.stall(ft.Delay)
 	real, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err
@@ -451,6 +477,7 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 		}
 		return err
 	}
+	f.stall(ft.Delay)
 	var undo renameUndo
 	undo.oldpath, undo.newpath = oldpath, newpath
 	if content, rerr := os.ReadFile(newpath); rerr == nil {
@@ -474,9 +501,11 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 func (f *FaultFS) Remove(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, err := f.beginLocked(OpRemove, name, 0); err != nil {
-		return err
+	ft, berr := f.beginLocked(OpRemove, name, 0)
+	if berr != nil {
+		return berr
 	}
+	f.stall(ft.Delay)
 	err := os.Remove(name)
 	if err == nil || errors.Is(err, os.ErrNotExist) {
 		delete(f.files, name)
@@ -501,9 +530,11 @@ func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
 func (f *FaultFS) SyncDir(dir string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, err := f.beginLocked(OpSyncDir, dir, 0); err != nil {
+	ft, err := f.beginLocked(OpSyncDir, dir, 0)
+	if err != nil {
 		return err
 	}
+	f.stall(ft.Delay)
 	kept := f.pendingRenames[:0]
 	for _, u := range f.pendingRenames {
 		if filepath.Dir(u.newpath) != dir {
@@ -647,6 +678,7 @@ func (h *faultFile) Write(p []byte) (int, error) {
 		}
 		return 0, err
 	}
+	h.fs.stall(ft.Delay)
 	n, werr := h.real.Write(p)
 	st := h.fs.state(h.path)
 	h.pos += int64(n)
@@ -677,6 +709,7 @@ func (h *faultFile) Sync() error {
 		}
 		return err
 	}
+	h.fs.stall(ft.Delay)
 	if err := h.real.Sync(); err != nil {
 		return err
 	}
@@ -701,9 +734,11 @@ func (h *faultFile) Seek(offset int64, whence int) (int64, error) {
 func (h *faultFile) Truncate(size int64) error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
-	if _, err := h.fs.beginLocked(OpTruncate, h.path, int(size)); err != nil {
+	ft, err := h.fs.beginLocked(OpTruncate, h.path, int(size))
+	if err != nil {
 		return err
 	}
+	h.fs.stall(ft.Delay)
 	if err := h.real.Truncate(size); err != nil {
 		return err
 	}

@@ -33,14 +33,16 @@ import (
 	"mvdb/internal/audit"
 	"mvdb/internal/core"
 	"mvdb/internal/faultfs"
+	"mvdb/internal/health"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/trace"
 )
 
 // SchemaVersion identifies the bundle format. Bump on any
-// backwards-incompatible change to Bundle's shape.
-const SchemaVersion = "mvdb-flight/v1"
+// backwards-incompatible change to Bundle's shape. v2 added the health
+// timeline section.
+const SchemaVersion = "mvdb-flight/v2"
 
 // Sources are the read-only taps the recorder samples. Stats is
 // required; every other tap is optional (nil omits its section from
@@ -61,6 +63,10 @@ type Sources struct {
 	// freshest sampled traces ("this bundle is the anomaly — keep the
 	// evidence") before returning.
 	Traces func() []trace.Trace
+	// Health returns the health monitor's recent base-resolution points
+	// (oldest first) — what the rates and percentiles were doing in the
+	// minutes before the trigger.
+	Health func() []health.Point
 }
 
 // Options configures a Recorder.
@@ -108,6 +114,7 @@ type Bundle struct {
 	Audit     *audit.Snapshot `json:"audit,omitempty"`
 	WaitGraph *lock.WaitGraph `json:"wait_graph,omitempty"`
 	Traces    []trace.Trace   `json:"traces,omitempty"`
+	Health    []health.Point  `json:"health,omitempty"`
 }
 
 // Recorder is the running black box. Create with New, stop with Close.
@@ -280,6 +287,9 @@ func (r *Recorder) assemble(reason, detail string) Bundle {
 	}
 	if r.src.Traces != nil {
 		b.Traces = r.src.Traces()
+	}
+	if r.src.Health != nil {
+		b.Health = r.src.Health()
 	}
 	return b
 }

@@ -1,0 +1,271 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mvdb/internal/obs"
+)
+
+// Schema identifies the health timeline JSON document.
+const Schema = "mvdb-health/v1"
+
+// TimelineLevel is one resolution's slice of the exported timeline.
+type TimelineLevel struct {
+	Level      int     `json:"level"`
+	IntervalNS int64   `json:"interval_ns"`
+	Cap        int     `json:"cap"`
+	Points     []Point `json:"points"`
+}
+
+// Timeline is the JSON document served at /debug/mvdb/health and
+// embedded in soak verdicts.
+type Timeline struct {
+	Schema     string          `json:"schema"`
+	Levels     []TimelineLevel `json:"levels"`
+	SLOs       []SLOState      `json:"slos,omitempty"`
+	AlarmsWarn int64           `json:"alarms_warn"`
+	AlarmsPage int64           `json:"alarms_page"`
+}
+
+// Timeline exports the retained points. level < 0 selects every level;
+// n bounds points per level (<= 0 for all). Nil-safe (empty document).
+func (m *Monitor) Timeline(level, n int) Timeline {
+	tl := Timeline{Schema: Schema}
+	if m == nil {
+		return tl
+	}
+	lo, hi := level, level+1
+	if level < 0 {
+		lo, hi = 0, len(m.levels)
+	}
+	for i := lo; i < hi; i++ {
+		tl.Levels = append(tl.Levels, TimelineLevel{
+			Level:      i,
+			IntervalNS: m.LevelInterval(i).Nanoseconds(),
+			Cap:        m.levels[i].cfg.Cap,
+			Points:     m.Points(i, n),
+		})
+	}
+	tl.SLOs = m.SLOStates()
+	tl.AlarmsWarn, tl.AlarmsPage = m.AlarmCounts()
+	return tl
+}
+
+// HTTPHandler serves the timeline. Query parameters: level (one
+// resolution, default all), n (last n points per level), format
+// ("" for JSON, "sparkline" for an ASCII dashboard), metric (restrict
+// the sparkline view to one metric). The handler works before the
+// first tick — it just serves empty levels.
+func (m *Monitor) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		level := -1
+		if s := q.Get("level"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 || v >= m.NumLevels() {
+				http.Error(w, fmt.Sprintf("level must be in [0,%d)", m.NumLevels()), http.StatusBadRequest)
+				return
+			}
+			level = v
+		}
+		n := 0
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		switch q.Get("format") {
+		case "":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(m.Timeline(level, n))
+		case "sparkline":
+			metrics := sparkMetrics
+			if s := q.Get("metric"); s != "" {
+				if _, ok := (Point{}).Metric(s); !ok {
+					http.Error(w, "unknown metric "+s, http.StatusBadRequest)
+					return
+				}
+				metrics = []string{s}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, m.renderSparklines(level, n, metrics))
+		default:
+			http.Error(w, "format must be empty or sparkline", http.StatusBadRequest)
+		}
+	})
+}
+
+// sparkMetrics is the default sparkline dashboard selection: the
+// metrics whose shape over time is diagnostic at a glance.
+var sparkMetrics = []string{
+	"commit_rate_rw", "commit_p99_ns", "abort_frac", "fsync_per_commit",
+	"visibility_lag", "vc_queue_len", "gc_reclaim_rate",
+	"max_version_chain", "heap_bytes",
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders one metric's series as a min-max scaled ASCII
+// sparkline (empty for no points).
+func Sparkline(pts []Point, metric string) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	vals := make([]float64, len(pts))
+	lo, hi := 0.0, 0.0
+	for i, p := range pts {
+		v, _ := p.Metric(metric)
+		vals[i] = v
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// renderSparklines is the text dashboard: per level, one sparkline row
+// per metric with its current (last) value.
+func (m *Monitor) renderSparklines(level, n int, metricNames []string) string {
+	tl := m.Timeline(level, n)
+	var sb strings.Builder
+	for _, lv := range tl.Levels {
+		fmt.Fprintf(&sb, "== level %d (interval %s, %d/%d points) ==\n",
+			lv.Level, durString(lv.IntervalNS), len(lv.Points), lv.Cap)
+		for _, name := range metricNames {
+			last := 0.0
+			if len(lv.Points) > 0 {
+				last, _ = lv.Points[len(lv.Points)-1].Metric(name)
+			}
+			fmt.Fprintf(&sb, "%-20s %s  %g\n", name, Sparkline(lv.Points, name), last)
+		}
+	}
+	for _, s := range tl.SLOs {
+		fmt.Fprintf(&sb, "slo %-20s %-5s fast=%.2f slow=%.2f (max %g %s)\n",
+			s.SLO.Name, s.State, s.BurnFast, s.BurnSlow, s.SLO.Max, s.SLO.Metric)
+	}
+	return sb.String()
+}
+
+func durString(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%gs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%gms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// WriteProm appends the health layer's own metric families to a
+// Prometheus exposition (wired as an obs.WithPromExtra). Nil-safe.
+func (m *Monitor) WriteProm(w io.Writer) {
+	if m == nil {
+		return
+	}
+	p := obs.NewPromWriter(w)
+	p.Header("mvdb_health_points_total", "counter", "Base-resolution health points produced.")
+	p.Int("mvdb_health_points_total", m.PointsTotal())
+	warn, page := m.AlarmCounts()
+	p.Header("mvdb_health_alarms_total", "counter", "SLO alarms raised, by severity.")
+	p.Int("mvdb_health_alarms_total", warn, "severity", SeverityWarn)
+	p.Int("mvdb_health_alarms_total", page, "severity", SeverityPage)
+	states := m.SLOStates()
+	if len(states) > 0 {
+		p.Header("mvdb_health_slo_state", "gauge", "SLO evaluation state (0 ok, 1 warn, 2 page).")
+		for _, s := range states {
+			st := int64(0)
+			switch s.State {
+			case stateNames[stateWarn]:
+				st = 1
+			case stateNames[statePage]:
+				st = 2
+			}
+			p.Int("mvdb_health_slo_state", st, "slo", s.SLO.Name)
+		}
+		p.Header("mvdb_health_slo_burn", "gauge", "SLO burn-rate window breach fractions.")
+		for _, s := range states {
+			p.Value("mvdb_health_slo_burn", s.BurnFast, "slo", s.SLO.Name, "window", "fast")
+			p.Value("mvdb_health_slo_burn", s.BurnSlow, "slo", s.SLO.Name, "window", "slow")
+		}
+	}
+	if pts := m.Points(0, 1); len(pts) == 1 {
+		last := pts[0]
+		p.Header("mvdb_health_commit_p99_seconds", "gauge", "Last interval's read-write commit p99.")
+		p.Value("mvdb_health_commit_p99_seconds", float64(last.CommitP99NS)/1e9)
+		p.Header("mvdb_health_abort_frac", "gauge", "Last interval's aborts/(commits+aborts).")
+		p.Value("mvdb_health_abort_frac", last.AbortFrac)
+	}
+}
+
+// DriftCheck bounds a metric's long-horizon drift: comparing the mean
+// of the timeline's first third against its last third, the latter
+// must stay within MaxRatio× the former plus Slack (the additive slack
+// absorbs near-zero baselines). This is the soak oracle's "no
+// monotonic creep" test for heap, chain depth, and backlog.
+type DriftCheck struct {
+	Metric   string  `json:"metric"`
+	MaxRatio float64 `json:"max_ratio"`
+	Slack    float64 `json:"slack"`
+}
+
+// DriftResult is one check's verdict.
+type DriftResult struct {
+	Metric    string  `json:"metric"`
+	FirstMean float64 `json:"first_mean"`
+	LastMean  float64 `json:"last_mean"`
+	Bound     float64 `json:"bound"`
+	OK        bool    `json:"ok"`
+}
+
+// CheckDrift evaluates checks over a timeline (oldest first). With
+// fewer than 6 points every check passes vacuously — there is no
+// trend to read.
+func CheckDrift(pts []Point, checks []DriftCheck) []DriftResult {
+	out := make([]DriftResult, 0, len(checks))
+	third := len(pts) / 3
+	for _, c := range checks {
+		res := DriftResult{Metric: c.Metric, OK: true}
+		if third >= 2 {
+			res.FirstMean = meanMetric(pts[:third], c.Metric)
+			res.LastMean = meanMetric(pts[len(pts)-third:], c.Metric)
+			res.Bound = res.FirstMean*c.MaxRatio + c.Slack
+			res.OK = res.LastMean <= res.Bound
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func meanMetric(pts []Point, metric string) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, p := range pts {
+		v, _ := p.Metric(metric)
+		acc += v
+	}
+	return acc / float64(len(pts))
+}

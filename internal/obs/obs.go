@@ -42,6 +42,17 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a lock-free last-value gauge (checkpoint timestamps,
+// durations — values that are set, not accumulated). The zero value is
+// ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Stats is the live counter registry, one per engine. Subsystems write
 // to it directly (each write is one atomic add); Snapshot reads it in
 // an order that keeps derived invariants true (see Snapshot).
@@ -98,6 +109,12 @@ type Stats struct {
 	// backlog of prunable garbage that had accumulated between passes.
 	// Count-valued.
 	GCBacklog *metrics.Histogram
+
+	// Checkpoint gauges, set by the durable engine on each successful
+	// WriteSnapshot: wall-clock completion time (unix nanoseconds) and
+	// the pass duration. Zero until the first checkpoint.
+	CheckpointLastUnixNanos Gauge
+	CheckpointDurationNanos Gauge
 
 	// start anchors the uptime gauge.
 	start time.Time
@@ -180,6 +197,15 @@ type Snapshot struct {
 	WALBatches        int64           `json:"wal_batches"`
 	WALBatchSize      metrics.Summary `json:"wal_batch_size"`
 	WALFsyncPerAppend float64         `json:"wal_fsync_per_append"`
+	// WALSizeBytes is the log file's current size: the bytes recovery
+	// would replay, and (with checkpoint age) the signal that log
+	// compaction is overdue. Zero when durability is off.
+	WALSizeBytes int64 `json:"wal_size_bytes"`
+
+	// Checkpoint cadence (zero until the first checkpoint): when the
+	// last WriteSnapshot completed and how long it took.
+	CheckpointLastUnix        int64   `json:"checkpoint_last_unix,omitempty"`
+	CheckpointDurationSeconds float64 `json:"checkpoint_duration_seconds,omitempty"`
 
 	GCPasses    int64 `json:"gc_passes"`
 	GCReclaimed int64 `json:"gc_reclaimed"`
@@ -253,6 +279,10 @@ func (s *Stats) Snapshot() Snapshot {
 	sn.GCReclaimed = s.GCReclaimed.Load()
 	sn.GCChainDepth = s.GCChainDepth.Summarize()
 	sn.GCBacklog = s.GCBacklog.Summarize()
+	if ns := s.CheckpointLastUnixNanos.Load(); ns != 0 {
+		sn.CheckpointLastUnix = ns / 1e9
+		sn.CheckpointDurationSeconds = float64(s.CheckpointDurationNanos.Load()) / 1e9
+	}
 	sn.Goroutines = runtime.NumGoroutine()
 	sn.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	sn.UptimeSeconds = time.Since(s.start).Seconds()
@@ -295,6 +325,9 @@ func (sn Snapshot) Map() map[string]int64 {
 		"wal.fsyncs":      sn.WALFsyncs,
 		"wal.bytes":       sn.WALBytes,
 		"wal.batches":     sn.WALBatches,
+		"wal.size":        sn.WALSizeBytes,
+		"ckpt.last_unix":  sn.CheckpointLastUnix,
+		"ckpt.dur_ms":     int64(sn.CheckpointDurationSeconds * 1000),
 		"gc.passes":       sn.GCPasses,
 		"gc.pruned":       sn.GCReclaimed,
 		"gc.chain.max":    sn.GCChainDepth.Max,

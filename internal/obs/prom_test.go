@@ -182,54 +182,59 @@ func TestServeMetricsEndpoint(t *testing.T) {
 func TestWritePromCompleteness(t *testing.T) {
 	// field name (Stats or Snapshot) -> Prometheus family it feeds.
 	families := map[string]string{
-		"Protocol":             "mvdb_info",
-		"BeginsRO":             "mvdb_begins_total",
-		"BeginsRW":             "mvdb_begins_total",
-		"CommitsRO":            "mvdb_commits_total",
-		"CommitsRW":            "mvdb_commits_total",
-		"Retries":              "mvdb_retries_total",
-		"AbortsConflict":       "mvdb_aborts_total",
-		"AbortsDeadlock":       "mvdb_aborts_total",
-		"AbortsWounded":        "mvdb_aborts_total",
-		"AbortsTimeout":        "mvdb_aborts_total",
-		"AbortsUser":           "mvdb_aborts_total",
-		"RWAbortsByRO":         "mvdb_rw_aborts_by_ro_total",
-		"ROBlocked":            "mvdb_ro_blocked_total",
-		"RecencyWaits":         "mvdb_ro_recency_waits_total",
-		"LockWaits":            "mvdb_lock_waits_total",
-		"LockDeadlocks":        "mvdb_lock_deadlocks_total",
-		"LockWounds":           "mvdb_lock_wounds_total",
-		"LockTimeouts":         "mvdb_lock_timeouts_total",
-		"LockWait":             "mvdb_lock_wait_seconds",
-		"LockWaitNanos":        "mvdb_lock_wait_seconds",
-		"LockStripes":          "mvdb_lock_stripes",
-		"LockStripeCollisions": "mvdb_lock_stripe_collisions_total",
-		"WALAppends":           "mvdb_wal_appends_total",
-		"WALFsyncs":            "mvdb_wal_fsyncs_total",
-		"WALBytes":             "mvdb_wal_bytes_total",
-		"WALBatches":           "mvdb_wal_batches_total",
-		"WALBatchSize":         "mvdb_wal_batch_records",
-		"WALFsyncPerAppend":    "mvdb_wal_fsync_per_append",
-		"GCPasses":             "mvdb_gc_passes_total",
-		"GCReclaimed":          "mvdb_gc_reclaimed_total",
-		"GCChainDepth":         "mvdb_gc_chain_depth",
-		"GCBacklog":            "mvdb_gc_backlog",
-		"TNC":                  "mvdb_tnc",
-		"VTNC":                 "mvdb_vtnc",
-		"VisibilityLag":        "mvdb_visibility_lag",
-		"VCQueueLen":           "mvdb_vc_queue_len",
-		"Keys":                 "mvdb_keys",
-		"Versions":             "mvdb_versions",
-		"MaxVersionChain":      "mvdb_version_chain_max",
-		"MeanVersionChain":     "mvdb_version_chain_mean",
-		"StoreWaits":           "mvdb_store_waits_total",
-		"Phases":               "mvdb_phase_seconds",
-		"Goroutines":           "mvdb_goroutines",
-		"GOMAXPROCS":           "mvdb_gomaxprocs",
-		"UptimeSeconds":        "mvdb_uptime_seconds",
-		"GoVersion":            "mvdb_build_info",
-		"BuildRevision":        "mvdb_build_info",
-		"Extra":                "mvdb_extra",
+		"Protocol":                  "mvdb_info",
+		"BeginsRO":                  "mvdb_begins_total",
+		"BeginsRW":                  "mvdb_begins_total",
+		"CommitsRO":                 "mvdb_commits_total",
+		"CommitsRW":                 "mvdb_commits_total",
+		"Retries":                   "mvdb_retries_total",
+		"AbortsConflict":            "mvdb_aborts_total",
+		"AbortsDeadlock":            "mvdb_aborts_total",
+		"AbortsWounded":             "mvdb_aborts_total",
+		"AbortsTimeout":             "mvdb_aborts_total",
+		"AbortsUser":                "mvdb_aborts_total",
+		"RWAbortsByRO":              "mvdb_rw_aborts_by_ro_total",
+		"ROBlocked":                 "mvdb_ro_blocked_total",
+		"RecencyWaits":              "mvdb_ro_recency_waits_total",
+		"LockWaits":                 "mvdb_lock_waits_total",
+		"LockDeadlocks":             "mvdb_lock_deadlocks_total",
+		"LockWounds":                "mvdb_lock_wounds_total",
+		"LockTimeouts":              "mvdb_lock_timeouts_total",
+		"LockWait":                  "mvdb_lock_wait_seconds",
+		"LockWaitNanos":             "mvdb_lock_wait_seconds",
+		"LockStripes":               "mvdb_lock_stripes",
+		"LockStripeCollisions":      "mvdb_lock_stripe_collisions_total",
+		"WALAppends":                "mvdb_wal_appends_total",
+		"WALFsyncs":                 "mvdb_wal_fsyncs_total",
+		"WALBytes":                  "mvdb_wal_bytes_total",
+		"WALBatches":                "mvdb_wal_batches_total",
+		"WALBatchSize":              "mvdb_wal_batch_records",
+		"WALFsyncPerAppend":         "mvdb_wal_fsync_per_append",
+		"WALSizeBytes":              "mvdb_wal_size_bytes",
+		"CheckpointLastUnixNanos":   "mvdb_checkpoint_last_unix",
+		"CheckpointDurationNanos":   "mvdb_checkpoint_duration_seconds",
+		"CheckpointLastUnix":        "mvdb_checkpoint_last_unix",
+		"CheckpointDurationSeconds": "mvdb_checkpoint_duration_seconds",
+		"GCPasses":                  "mvdb_gc_passes_total",
+		"GCReclaimed":               "mvdb_gc_reclaimed_total",
+		"GCChainDepth":              "mvdb_gc_chain_depth",
+		"GCBacklog":                 "mvdb_gc_backlog",
+		"TNC":                       "mvdb_tnc",
+		"VTNC":                      "mvdb_vtnc",
+		"VisibilityLag":             "mvdb_visibility_lag",
+		"VCQueueLen":                "mvdb_vc_queue_len",
+		"Keys":                      "mvdb_keys",
+		"Versions":                  "mvdb_versions",
+		"MaxVersionChain":           "mvdb_version_chain_max",
+		"MeanVersionChain":          "mvdb_version_chain_mean",
+		"StoreWaits":                "mvdb_store_waits_total",
+		"Phases":                    "mvdb_phase_seconds",
+		"Goroutines":                "mvdb_goroutines",
+		"GOMAXPROCS":                "mvdb_gomaxprocs",
+		"UptimeSeconds":             "mvdb_uptime_seconds",
+		"GoVersion":                 "mvdb_build_info",
+		"BuildRevision":             "mvdb_build_info",
+		"Extra":                     "mvdb_extra",
 	}
 
 	// Populate the live registry so no conditional family is skipped.
@@ -247,6 +252,8 @@ func TestWritePromCompleteness(t *testing.T) {
 		switch v := sv.Field(i).Addr().Interface().(type) {
 		case *Counter:
 			v.Add(3)
+		case *Gauge:
+			v.Set(3)
 		case **metrics.Histogram:
 			(*v).Record(1_000_000)
 		default:

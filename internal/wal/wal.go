@@ -125,6 +125,10 @@ type Writer struct {
 	bytes   atomic.Uint64
 	batches atomic.Uint64
 
+	// base is the file length at open time (0 on Create, the recovered
+	// validLen on OpenAppend); base + bytes is the current log size.
+	base int64
+
 	// onBatch observes each group-commit batch's record count; see
 	// SetBatchObserver.
 	onBatch func(records int)
@@ -175,6 +179,12 @@ func (w *Writer) Counters() (appends, fsyncs, bytes uint64) {
 // Batches reports how many group-commit fsync batches have completed
 // (zero outside SyncBatch). appends/fsyncs is the amortization ratio.
 func (w *Writer) Batches() uint64 { return w.batches.Load() }
+
+// Size reports the log file's current length in bytes: the length at
+// open time plus everything appended since. This is the volume recovery
+// would replay, and — together with checkpoint age — the signal that
+// log compaction is overdue. Safe to call concurrently with Append.
+func (w *Writer) Size() int64 { return w.base + int64(w.bytes.Load()) }
 
 // SetBatchObserver installs fn, called after each completed group-commit
 // batch with the number of records the fsync covered. It runs on the
@@ -260,7 +270,9 @@ func OpenAppendWith(path string, validLen int64, opts Options) (*Writer, error) 
 		f.Close()
 		return nil, err
 	}
-	return newWriter(f, opts), nil
+	w := newWriter(f, opts)
+	w.base = validLen
+	return w, nil
 }
 
 // Append encodes and appends one commit record, flushing according to the

@@ -41,8 +41,10 @@ import (
 	"mvdb/internal/audit"
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
+	"mvdb/internal/faultfs"
 	"mvdb/internal/flight"
 	"mvdb/internal/gc"
+	"mvdb/internal/health"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/trace"
@@ -230,6 +232,29 @@ type Options struct {
 	// FlightInterval is the flight recorder's background sampling
 	// cadence (0 = 1s).
 	FlightInterval time.Duration
+	// Health enables the windowed health timeline: a background monitor
+	// diffs Stats every HealthInterval into per-interval rates, interval
+	// commit-latency percentiles and gauges, retained in bounded
+	// multi-resolution rings (hours of history in fixed memory), and
+	// evaluates HealthSLOs over them with fast/slow burn-rate windows.
+	// SLO breaches promote recent traces, trigger a flight bundle (with
+	// FlightDir), append EvHealth events to the trace ring, and — under
+	// AdaptiveCC — drive the protocol switcher. DB.Health() exposes the
+	// monitor; with DebugAddr set, GET /debug/mvdb/health serves the
+	// timeline (add ?format=sparkline for an ASCII dashboard) and
+	// /metrics gains the mvdb_health_* families. Off — the default —
+	// keeps every commit path at a single pointer test.
+	Health bool
+	// HealthInterval is the monitor's base sampling period (0 = 1s).
+	HealthInterval time.Duration
+	// HealthSLOs are the objectives the monitor evaluates. Empty selects
+	// a conservative default set (commit p99, abort fraction, visibility
+	// lag) with generous ceilings.
+	HealthSLOs []HealthSLO
+	// FS, when non-nil, routes every durability-path file operation
+	// (WAL, snapshots, compaction) through the given filesystem — the
+	// fault-injection harness's hook. Nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // Stats is the typed observability snapshot returned by DB.Stats: every
@@ -269,6 +294,22 @@ type TxTracer = trace.Tracer
 // TxBlame is one causal blame edge within a TxTrace.
 type TxBlame = trace.Blame
 
+// HealthMonitor is the windowed health timeline (see Options.Health).
+type HealthMonitor = health.Monitor
+
+// HealthPoint is one interval's digest of engine health.
+type HealthPoint = health.Point
+
+// HealthSLO is one declarative objective over a HealthPoint metric.
+type HealthSLO = health.SLO
+
+// HealthAlarm is one raised SLO breach.
+type HealthAlarm = health.Alarm
+
+// HealthSignal is what the monitor delivers per tick: the new point
+// plus any alarms it raised.
+type HealthSignal = health.Signal
+
 // DB is an open database.
 type DB struct {
 	eng       *core.Engine     // underlying engine (read-only paths, GC, stats)
@@ -280,7 +321,9 @@ type DB struct {
 	spans     *trace.Tracer    // nil unless TraceSample > 0
 	auditor   *audit.Auditor   // nil unless Options.Audit
 	flightRec *flight.Recorder // nil unless Options.FlightDir
+	monitor   *health.Monitor  // nil unless Options.Health
 	dbg       *obs.DebugServer // nil unless DebugAddr
+	fs        faultfs.FS       // Options.FS (nil = real filesystem)
 	walPath   string
 	retries   int
 	closed    bool
@@ -383,7 +426,7 @@ func Open(opts Options) (*DB, error) {
 		case opts.SyncEveryCommit:
 			walOpts.Policy = wal.SyncEveryCommit
 		}
-		recovered, logW, err := core.OpenDurable(opts.WALPath, coreOpts, core.DurableOptions{WAL: walOpts})
+		recovered, logW, err := core.OpenDurable(opts.WALPath, coreOpts, core.DurableOptions{FS: opts.FS, WAL: walOpts})
 		if err != nil {
 			return fail(fmt.Errorf("mvdb: recover: %w", err))
 		}
@@ -393,7 +436,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	auditVC.Store(eng.VC())
 
-	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, walPath: opts.WALPath, retries: retries}
+	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, fs: opts.FS, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
 		eng.SetProtocol(core.Optimistic)
 		db.ad = adaptive.Wrap(eng, adaptive.Options{})
@@ -418,6 +461,51 @@ func Open(opts Options) (*DB, error) {
 	if opts.GCInterval > 0 {
 		db.collector.Start()
 	}
+	if opts.Health {
+		slos := opts.HealthSLOs
+		if len(slos) == 0 {
+			slos = DefaultHealthSLOs()
+		}
+		mon, err := health.New(health.Sources{
+			Stats: db.Stats,
+			AuditAlarms: func() uint64 {
+				if auditor == nil {
+					return 0
+				}
+				return auditor.AlarmsTotal()
+			},
+			TraceDrops: func() uint64 {
+				st := spans.Stats() // nil-safe: zero stats without tracing
+				return st.DroppedRecent + st.DroppedPromoted
+			},
+		}, health.Options{
+			Interval: opts.HealthInterval,
+			SLOs:     slos,
+			Ring:     tracer,
+			OnAlarm: func(al health.Alarm) {
+				// An SLO breach is an anomaly like an audit alarm: keep
+				// the freshest trace evidence and photograph the engine.
+				spans.PromoteRecent("slo-"+al.SLO, 8)
+				if al.Severity == health.SeverityPage {
+					if r := flightRec.Load(); r != nil {
+						r.TriggerAsync("slo-"+al.SLO, al.Message)
+					}
+				}
+			},
+		})
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("mvdb: health monitor: %w", err)
+		}
+		db.monitor = mon
+		if db.ad != nil {
+			// The health timeline becomes the protocol switcher's policy
+			// input: its interval abort fraction replaces the internal
+			// every-N-completions sampling.
+			mon.Subscribe(db.ad.OnHealth)
+		}
+		mon.Start()
+	}
 	if opts.FlightDir != "" {
 		src := flight.Sources{
 			Stats:     db.Stats,
@@ -436,6 +524,9 @@ func Open(opts Options) (*DB, error) {
 				spans.PromoteRecent("flight-trigger", 8)
 				return spans.Promoted()
 			}
+		}
+		if db.monitor != nil {
+			src.Health = func() []health.Point { return db.monitor.Points(0, 0) }
 		}
 		rec, err := flight.New(src, flight.Options{Dir: opts.FlightDir, Interval: opts.FlightInterval})
 		if err != nil {
@@ -460,6 +551,11 @@ func Open(opts Options) (*DB, error) {
 			serveOpts = append(serveOpts,
 				obs.WithHandler("/debug/mvdb/traces", spans.HTTPHandler()))
 		}
+		if db.monitor != nil {
+			serveOpts = append(serveOpts,
+				obs.WithHandler("/debug/mvdb/health", db.monitor.HTTPHandler()),
+				obs.WithPromExtra(db.monitor.WriteProm))
+		}
 		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer, serveOpts...)
 		if err != nil {
 			db.Close()
@@ -478,6 +574,10 @@ func (db *DB) Close() error {
 	db.closed = true
 	if db.dbg != nil {
 		db.dbg.Close()
+	}
+	if db.monitor != nil {
+		// Before the engine: a tick in flight still has valid sources.
+		db.monitor.Stop()
 	}
 	if db.collector != nil {
 		db.collector.Stop()
@@ -515,7 +615,7 @@ func (db *DB) Begin() (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{t: t}, nil
+	return db.newTx(t), nil
 }
 
 // CurrentProtocol reports the concurrency control currently in force for
@@ -531,7 +631,7 @@ func (db *DB) BeginReadOnly() (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{t: t}, nil
+	return db.newTx(t), nil
 }
 
 // BeginReadOnlyRecent starts a read-only transaction guaranteed to
@@ -542,7 +642,7 @@ func (db *DB) BeginReadOnlyRecent() (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{t: t}, nil
+	return db.newTx(t), nil
 }
 
 // BeginReadOnlyAt starts a read-only transaction whose snapshot is pinned
@@ -556,7 +656,7 @@ func (db *DB) BeginReadOnlyAt(sn uint64) (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{t: t}, nil
+	return db.newTx(t), nil
 }
 
 // View runs fn in a read-only transaction. The transaction commits when
@@ -616,7 +716,10 @@ func (db *DB) Update(fn func(*Tx) error) error {
 func (db *DB) Stats() Stats {
 	sn := db.eng.Snapshot()
 	if db.ad != nil {
-		sn.Extra = map[string]int64{"adaptive.switches": int64(db.ad.Switches())}
+		sn.Extra = map[string]int64{
+			"adaptive.switches":       int64(db.ad.Switches()),
+			"adaptive.health_signals": int64(db.ad.HealthSignals()),
+		}
 	}
 	return sn
 }
@@ -641,6 +744,24 @@ func (db *DB) Audit() *Auditor { return db.auditor }
 // Options.FlightDir was empty. Flight().Trigger writes a postmortem
 // bundle on demand; Flight().LastBundle reports the newest bundle path.
 func (db *DB) Flight() *Flight { return db.flightRec }
+
+// Health returns the windowed health monitor, or nil when
+// Options.Health was off. Health().Timeline exports the retained
+// points; Health().SLOStates the objectives' burn-rate state. Render
+// live with `mvinspect -health`.
+func (db *DB) Health() *HealthMonitor { return db.monitor }
+
+// DefaultHealthSLOs is the objective set Options.Health uses when
+// Options.HealthSLOs is empty: ceilings generous enough that a healthy
+// engine under load never pages, tight enough that a stalled fsync,
+// runaway conflict storm, or wedged visibility drain does.
+func DefaultHealthSLOs() []HealthSLO {
+	return []HealthSLO{
+		{Name: "commit-p99", Metric: "commit_p99_ns", Max: 250e6},
+		{Name: "abort-frac", Metric: "abort_frac", Max: 0.5},
+		{Name: "visibility-lag", Metric: "visibility_lag", Max: 4096},
+	}
+}
 
 // DebugAddr reports the bound address of the debug HTTP server ("" when
 // Options.DebugAddr was empty). With Options.DebugAddr ":0" this is how
@@ -668,6 +789,21 @@ func (db *DB) VisibilityLag() uint64 { return db.eng.VC().Lag() }
 // Tx is a transaction handle. It is not safe for concurrent use.
 type Tx struct {
 	t engine.Tx
+	// Health latency tap: with Options.Health off, h stays nil and the
+	// commit path costs one pointer test — no clock read, no histogram.
+	h     *health.Monitor
+	start time.Time
+}
+
+// newTx wraps an engine transaction, arming the health latency tap
+// only when the monitor exists.
+func (db *DB) newTx(t engine.Tx) *Tx {
+	tx := &Tx{t: t}
+	if db.monitor != nil {
+		tx.h = db.monitor
+		tx.start = time.Now()
+	}
+	return tx
 }
 
 // Get returns the value of key, or ErrNotFound.
@@ -690,7 +826,13 @@ func (tx *Tx) Delete(key string) error { return tx.t.Delete(key) }
 
 // Commit finishes the transaction, making its effects visible in
 // serialization order.
-func (tx *Tx) Commit() error { return tx.t.Commit() }
+func (tx *Tx) Commit() error {
+	err := tx.t.Commit()
+	if err == nil && tx.h != nil {
+		tx.h.ObserveLatency(tx.t.Class() == engine.ReadOnly, time.Since(tx.start))
+	}
+	return err
+}
 
 // Abort discards the transaction. It is safe to call after an operation
 // already aborted the transaction, and after Commit (no-op).
