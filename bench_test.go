@@ -66,7 +66,7 @@ func BenchmarkVCModule(b *testing.B) {
 	b.Run("register-complete-outoforder", func(b *testing.B) {
 		c := vc.New(0)
 		const window = 32
-		entries := make([]*vc.Entry, window)
+		entries := make([]vc.Handle, window)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i += window {
 			for j := range entries {

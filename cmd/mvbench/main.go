@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	mvbench [-experiment all|f1|e1|e2|e3|e4|e5|e6|e7|e8] [-quick] [-stats]
+//	mvbench [-experiment all|f1|e1..e8|a3|bench3|bench4] [-quick] [-stats]
+//	        [-json out.json] [-minspeedup X]
 //
 // With -stats, every harness run is followed by the engine's full
 // counter snapshot (commits and aborts by cause, lock/WAL/GC substrate,
@@ -27,11 +28,11 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "experiment id (f1, e1..e8, a3, bench3) or 'all'")
+		which   = flag.String("experiment", "all", "experiment id (f1, e1..e8, a3, bench3, bench4) or 'all'")
 		quick   = flag.Bool("quick", false, "smaller runs (CI-sized)")
 		stats   = flag.Bool("stats", false, "print the engine's full stats snapshot after each run")
-		jsonOpt = flag.String("json", "", "bench3: also write machine-readable results (mvdb-bench/v1) to this file")
-		minSpd  = flag.Float64("minspeedup", 0, "bench3: exit 1 if group-commit speedup over the seed configuration is below this")
+		jsonOpt = flag.String("json", "", "bench3/bench4: also write machine-readable results (mvdb-bench/v1) to this file")
+		minSpd  = flag.Float64("minspeedup", 0, "bench3: gate on group-commit speedup over the seed; bench4: gate on epoch-vs-strict visible-wait at 16 goroutines")
 	)
 	flag.Parse()
 	showStats = *stats
@@ -54,6 +55,7 @@ func main() {
 		{"e8", "E8: distributed version control", runE8},
 		{"a3", "A3: adaptive concurrency control (switching CC under a fixed VC)", runA3},
 		{"bench3", "bench3: striped lock manager + group-commit WAL regression set", runBench3},
+		{"bench4", "bench4: visibility scaling — strict drain vs epoch watermark", runBench4},
 	}
 
 	ran := 0

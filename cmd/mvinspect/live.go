@@ -182,6 +182,9 @@ func liveTable(addr string, cur, prev *obs.Payload, interval time.Duration) metr
 	counter("gc passes", s.GCPasses, p.GCPasses)
 	counter("gc reclaimed", s.GCReclaimed, p.GCReclaimed)
 	gauge("tnc / vtnc", fmt.Sprintf("%d / %d", s.TNC, s.VTNC))
+	if s.VisibilityMode != "" {
+		gauge("visibility mode", s.VisibilityMode)
+	}
 	gauge("visibility lag", s.VisibilityLag)
 	gauge("vc queue", s.VCQueueLen)
 	gauge("keys / versions", fmt.Sprintf("%d / %d", s.Keys, s.Versions))

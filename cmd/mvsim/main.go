@@ -59,7 +59,7 @@ func main() {
 	}
 }
 
-func vcState(c *vc.Controller) string {
+func vcState(c vc.Controller) string {
 	return fmt.Sprintf("[tnc=%d vtnc=%d queue=%d]", c.TNC(), c.VTNC(), c.QueueLen())
 }
 

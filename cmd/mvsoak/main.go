@@ -8,16 +8,20 @@
 //
 // Usage:
 //
-//	mvsoak [-duration 60s] [-protocol 2pl|to|occ|all] [-clients N]
-//	       [-keys N] [-zipf S] [-ro F] [-rmw] [-group]
+//	mvsoak [-duration 60s] [-protocol 2pl|to|occ|all] [-vc strict|epoch|all]
+//	       [-clients N] [-keys N] [-zipf S] [-ro F] [-rmw] [-group]
 //	       [-checkpoint 10s] [-gc 200ms] [-interval 1s]
 //	       [-dir D] [-json out.json] [-v]
 //
-// Each selected protocol gets an equal share of the time budget and a
-// fresh durable store. The health timeline is always written next to
-// the store (health-<protocol>.json); on failure a flight-recorder
-// postmortem bundle is written too (render with mvinspect -bundle).
-// Exit status is 0 only if every protocol passes.
+// Each selected protocol × visibility-mode pair gets an equal share of
+// the time budget and a fresh durable store. The health timeline is
+// always written next to the store (health-<config>.json); on failure a
+// flight-recorder postmortem bundle is written too (render with
+// mvinspect -bundle). The timeline's visibility-lag SLO is part of the
+// oracle in both modes: under the epoch watermark a stall in watermark
+// advance shows up as sustained visibility lag and pages, exactly like
+// a stuck strict drain would. Exit status is 0 only if every
+// configuration passes.
 package main
 
 import (
@@ -46,9 +50,10 @@ type verdict struct {
 }
 
 type protocolResult struct {
-	Protocol string   `json:"protocol"`
-	Pass     bool     `json:"pass"`
-	Reasons  []string `json:"reasons,omitempty"`
+	Protocol   string   `json:"protocol"`
+	Visibility string   `json:"visibility"`
+	Pass       bool     `json:"pass"`
+	Reasons    []string `json:"reasons,omitempty"`
 
 	CommitsRW   int64  `json:"commits_rw"`
 	CommitsRO   int64  `json:"commits_ro"`
@@ -78,6 +83,7 @@ func main() {
 	var (
 		duration   = flag.Duration("duration", 60*time.Second, "total wall-clock budget, split across protocols")
 		protocol   = flag.String("protocol", "all", "2pl, to, occ, or all")
+		vcFlag     = flag.String("vc", "all", "visibility mode: strict, epoch, or all (both)")
 		clients    = flag.Int("clients", 4, "concurrent workload clients per protocol")
 		keys       = flag.Int("keys", 512, "key-space size")
 		zipf       = flag.Float64("zipf", 0, "Zipf skew parameter (> 1; 0 = uniform)")
@@ -97,6 +103,11 @@ func main() {
 	protocols := selectProtocols(*protocol)
 	if len(protocols) == 0 {
 		fmt.Fprintf(os.Stderr, "no protocol matches -protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	modes := selectModes(*vcFlag)
+	if len(modes) == 0 {
+		fmt.Fprintf(os.Stderr, "no visibility mode matches -vc %q\n", *vcFlag)
 		os.Exit(2)
 	}
 
@@ -122,24 +133,27 @@ func main() {
 	start := time.Now()
 	v := verdict{Schema: "mvsoak-verdict/v1", Seed: *seed}
 	failed := false
-	per := *duration / time.Duration(len(protocols))
+	per := *duration / time.Duration(len(protocols)*len(modes))
 	for _, p := range protocols {
-		res := runProtocol(p, base, per, cfg, *clients, *group, *checkpoint, *gcEvery, *interval, *verbose)
-		if res.Pass {
-			fmt.Printf("PASS %-3s: %d rw + %d ro commits, %d aborts, %d retries, %d points, alarms warn=%d page=%d\n",
-				p, res.CommitsRW, res.CommitsRO, res.Aborts, res.Retries, res.Points, res.AlarmsWarn, res.AlarmsPage)
-		} else {
-			failed = true
-			fmt.Fprintf(os.Stderr, "FAIL %-3s: %v\n  timeline: %s\n", p, res.Reasons, res.Timeline)
-			if res.Bundle != "" {
-				fmt.Fprintf(os.Stderr, "  postmortem: mvinspect -bundle %s\n", res.Bundle)
+		for _, m := range modes {
+			res := runProtocol(p, m, base, per, cfg, *clients, *group, *checkpoint, *gcEvery, *interval, *verbose)
+			name := p + "/" + m
+			if res.Pass {
+				fmt.Printf("PASS %-10s: %d rw + %d ro commits, %d aborts, %d retries, %d points, alarms warn=%d page=%d\n",
+					name, res.CommitsRW, res.CommitsRO, res.Aborts, res.Retries, res.Points, res.AlarmsWarn, res.AlarmsPage)
+			} else {
+				failed = true
+				fmt.Fprintf(os.Stderr, "FAIL %-10s: %v\n  timeline: %s\n", name, res.Reasons, res.Timeline)
+				if res.Bundle != "" {
+					fmt.Fprintf(os.Stderr, "  postmortem: mvinspect -bundle %s\n", res.Bundle)
+				}
 			}
+			v.Configs = append(v.Configs, res)
 		}
-		v.Configs = append(v.Configs, res)
 	}
 	v.Elapsed = time.Since(start)
 	v.Passed = !failed
-	fmt.Printf("total: %d protocols in %v\n", len(v.Configs), v.Elapsed.Round(time.Millisecond))
+	fmt.Printf("total: %d configurations in %v\n", len(v.Configs), v.Elapsed.Round(time.Millisecond))
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(v, "", "  ")
 		if err == nil {
@@ -165,6 +179,23 @@ func selectProtocols(sel string) []string {
 	return nil
 }
 
+func selectModes(sel string) []string {
+	switch sel {
+	case "all", "":
+		return []string{"strict", "epoch"}
+	case "strict", "epoch":
+		return []string{sel}
+	}
+	return nil
+}
+
+func mvdbVisibility(m string) mvdb.VisibilityMode {
+	if m == "epoch" {
+		return mvdb.VisibilityEpoch
+	}
+	return mvdb.VisibilityStrict
+}
+
 func mvdbProtocol(p string) mvdb.Protocol {
 	switch p {
 	case "to":
@@ -176,20 +207,21 @@ func mvdbProtocol(p string) mvdb.Protocol {
 	}
 }
 
-func runProtocol(proto, base string, budget time.Duration, cfg workload.Config,
+func runProtocol(proto, mode, base string, budget time.Duration, cfg workload.Config,
 	clients int, group bool, checkpoint, gcEvery, interval time.Duration, verbose bool) protocolResult {
 
-	res := protocolResult{Protocol: proto}
+	res := protocolResult{Protocol: proto, Visibility: mode}
 	fail := func(format string, args ...any) {
 		res.Reasons = append(res.Reasons, fmt.Sprintf(format, args...))
 	}
-	d := filepath.Join(base, proto)
+	d := filepath.Join(base, proto+"-"+mode)
 	if err := os.MkdirAll(d, 0o755); err != nil {
 		fail("mkdir: %v", err)
 		return res
 	}
 	db, err := mvdb.Open(mvdb.Options{
 		Protocol:       mvdbProtocol(proto),
+		VisibilityMode: mvdbVisibility(mode),
 		WALPath:        filepath.Join(d, "commit.log"),
 		GroupCommit:    group,
 		GCInterval:     gcEvery,
@@ -252,7 +284,7 @@ func runProtocol(proto, base string, budget time.Duration, cfg workload.Config,
 		}()
 	}
 	if verbose {
-		fmt.Printf("  [%s] %d clients for %v in %s\n", proto, clients, budget, d)
+		fmt.Printf("  [%s/%s] %d clients for %v in %s\n", proto, mode, clients, budget, d)
 	}
 
 	// Wait for the workload clients, then release the checkpointer.
@@ -294,7 +326,7 @@ func runProtocol(proto, base string, budget time.Duration, cfg workload.Config,
 	// The timeline is always written — a passing soak's shape is the
 	// baseline the next failing one is compared against.
 	tl := mon.Timeline(-1, 0)
-	tlPath := filepath.Join(d, "health-"+proto+".json")
+	tlPath := filepath.Join(d, "health-"+proto+"-"+mode+".json")
 	if data, err := json.MarshalIndent(tl, "", "  "); err == nil {
 		if err := os.WriteFile(tlPath, append(data, '\n'), 0o644); err == nil {
 			res.Timeline = tlPath

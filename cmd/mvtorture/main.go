@@ -7,10 +7,12 @@
 // Usage:
 //
 //	mvtorture [-seed N] [-duration 60s | -rounds N] [-clients N]
-//	          [-protocol 2pl|to|occ|all] [-group auto|on|off] [-dir D] [-v]
+//	          [-protocol 2pl|to|occ|all] [-group auto|on|off]
+//	          [-vc strict|epoch|all] [-dir D] [-v]
 //
 // The default runs the full engine matrix (three protocols, group
-// commit on and off) and splits the time budget evenly. Exit status is
+// commit on and off, both visibility modes) and splits the time budget
+// evenly. Exit status is
 // 0 only if every configuration completes with zero oracle violations;
 // any violation prints the offending round and config and exits 1. On a
 // violation a flight-recorder postmortem bundle is written next to the
@@ -31,6 +33,7 @@ import (
 
 	"mvdb/internal/core"
 	"mvdb/internal/crashtest"
+	"mvdb/internal/vc"
 )
 
 // verdict is the -json output document.
@@ -69,6 +72,7 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent committers per round")
 		protocol = flag.String("protocol", "all", "2pl, to, occ, or all")
 		group    = flag.String("group", "auto", "group commit: on, off, or auto (both)")
+		vcFlag   = flag.String("vc", "all", "visibility mode: strict, epoch, or all (both)")
 		dir      = flag.String("dir", "", "working directory (default: a fresh temp dir, removed on success)")
 		sample   = flag.Float64("trace", 0.05, "per-transaction causal-trace sampling rate (0 disables; promoted traces ride the postmortem bundle and the -json verdict)")
 		jsonOut  = flag.String("json", "", "write the machine-readable verdict to this file")
@@ -84,10 +88,13 @@ func main() {
 		if *group == "on" && !c.Group || *group == "off" && c.Group {
 			continue
 		}
+		if !visibilityMatch(*vcFlag, c.Visibility) {
+			continue
+		}
 		configs = append(configs, c)
 	}
 	if len(configs) == 0 {
-		fmt.Fprintf(os.Stderr, "no configuration matches -protocol %q -group %q\n", *protocol, *group)
+		fmt.Fprintf(os.Stderr, "no configuration matches -protocol %q -group %q -vc %q\n", *protocol, *group, *vcFlag)
 		os.Exit(2)
 	}
 
@@ -165,6 +172,19 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func visibilityMatch(sel string, m vc.Mode) bool {
+	switch sel {
+	case "all", "":
+		return true
+	}
+	want, err := vc.ParseMode(sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return m == want
 }
 
 func protocolMatch(sel string, p core.Protocol) bool {

@@ -33,6 +33,7 @@ import (
 	"mvdb/internal/storage"
 	"mvdb/internal/trace"
 	"mvdb/internal/vc"
+	"mvdb/internal/vc/epoch"
 	"mvdb/internal/wal"
 )
 
@@ -75,6 +76,13 @@ type Options struct {
 	LockStripes int
 	// Shards is the store shard count (0 = default).
 	Shards int
+	// Visibility selects the version-control implementation: the
+	// paper's strict drain queue (default) or the epoch watermark
+	// (internal/vc/epoch), which decentralizes completion tracking and
+	// advances visibility in batches. Both preserve the Transaction
+	// Ordering and Visibility Properties; the mode changes scalability,
+	// not semantics.
+	Visibility vc.Mode
 	// Recorder receives history events for offline checking (tests).
 	Recorder engine.Recorder
 	// TrackReadOnly registers active read-only transactions so garbage
@@ -124,7 +132,7 @@ type Engine struct {
 	opts     Options
 	protocol atomic.Int32 // current Protocol; swappable via SetProtocol
 	store    *storage.Store
-	vc       *vc.Controller
+	vc       vc.Controller
 	locks    *lock.Manager // 2PL only
 	valMu    sync.Mutex    // OCC validation critical section
 	rec      engine.Recorder
@@ -147,6 +155,16 @@ type Engine struct {
 	bootstrapSealed atomic.Bool
 }
 
+// newController builds the version-control module for a mode and
+// bootstrap snapshot. It lives here rather than in package vc because
+// the epoch implementation imports vc for the contract types.
+func newController(mode vc.Mode, initial uint64) vc.Controller {
+	if mode == vc.ModeEpoch {
+		return epoch.New(initial)
+	}
+	return vc.New(initial)
+}
+
 // New creates an engine.
 func New(opts Options) *Engine {
 	var tracerRec engine.Recorder
@@ -156,7 +174,7 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		opts:  opts,
 		store: storage.NewStore(opts.Shards),
-		vc:    vc.New(0),
+		vc:    newController(opts.Visibility, 0),
 		rec:   engine.Multi(opts.Recorder, tracerRec),
 		stats: obs.NewStats(),
 	}
@@ -248,7 +266,7 @@ func (e *Engine) SetProtocol(p Protocol) {
 func (e *Engine) Store() *storage.Store { return e.store }
 
 // VC exposes the version control module (experiments, garbage collection).
-func (e *Engine) VC() *vc.Controller { return e.vc }
+func (e *Engine) VC() vc.Controller { return e.vc }
 
 // VTNC returns the current visibility horizon (it satisfies gc.Source).
 func (e *Engine) VTNC() uint64 { return e.vc.VTNC() }
@@ -361,6 +379,7 @@ func (e *Engine) Snapshot() obs.Snapshot {
 	// the pair even while commits race the snapshot.
 	vtnc := e.vc.VTNC()
 	tnc := e.vc.TNC()
+	sn.VisibilityMode = e.vc.Mode().String()
 	sn.VTNC = vtnc
 	sn.TNC = tnc
 	sn.VisibilityLag = tnc - 1 - vtnc
@@ -505,7 +524,7 @@ func (e *Engine) SetWAL(w *wal.Writer) error {
 // transaction heads the queue, visibility is deferred to it, and that is
 // the queued-behind blame edge. The eager path bypasses the drain (no
 // visibility callback will ever fire), so its trace finalizes here.
-func (e *Engine) complete(entry *vc.Entry, tr *trace.Active) {
+func (e *Engine) complete(entry vc.Handle, tr *trace.Active) {
 	if e.opts.UnsafeEagerVisibility {
 		e.vc.UnsafeCompleteEager(entry)
 		tr.FinishCommit()
@@ -515,12 +534,14 @@ func (e *Engine) complete(entry *vc.Entry, tr *trace.Active) {
 		e.vc.Complete(entry)
 		return
 	}
-	e.vc.CompleteObserved(entry, func(headTN uint64, depth int) {
+	e.vc.CompleteObserved(entry, func(o vc.Obstruction) {
 		tr.Blame(trace.Blame{
-			Kind:  trace.BlameQueuedBehind,
-			Phase: obs.PhaseVisibleWait.String(),
-			Tx:    headTN,
-			Depth: depth,
+			Kind:      trace.BlameQueuedBehind,
+			Phase:     obs.PhaseVisibleWait.String(),
+			Tx:        o.HeadTN,
+			Depth:     o.Depth,
+			Watermark: o.Watermark,
+			Epoch:     o.Epoch,
 		})
 	})
 }

@@ -18,7 +18,6 @@ import (
 
 	"mvdb/internal/faultfs"
 	"mvdb/internal/storage"
-	"mvdb/internal/vc"
 	"mvdb/internal/wal"
 )
 
@@ -150,7 +149,7 @@ func RestoreFS(fsys faultfs.FS, base []wal.Record, horizon uint64, path string, 
 	if err != nil {
 		return nil, 0, err
 	}
-	e.vc = vc.New(maxTN)
+	e.vc = newController(e.opts.Visibility, maxTN)
 	e.observeVC() // the replaced controller needs the phase observer rewired
 	return e, validLen, nil
 }

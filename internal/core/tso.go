@@ -23,7 +23,7 @@ import (
 type tsoTx struct {
 	e       *Engine
 	id      uint64
-	entry   *vc.Entry
+	entry   vc.Handle
 	tn      uint64
 	pending map[string]struct{} // keys holding our pending write
 	writes  map[string]bufWrite // retained write set (commit log)

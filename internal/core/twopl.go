@@ -29,7 +29,7 @@ import (
 type twoPhaseTx struct {
 	e     *Engine
 	id    uint64
-	entry *vc.Entry // ablation A1 only: registered at begin
+	entry vc.Handle // ablation A1 only: registered at begin
 	buf   map[string]bufWrite
 	done  bool
 	tn    uint64        // assigned at commit

@@ -13,6 +13,7 @@ import (
 	"mvdb/internal/history"
 	"mvdb/internal/storage"
 	"mvdb/internal/trace"
+	"mvdb/internal/vc"
 	"mvdb/internal/wal"
 )
 
@@ -23,6 +24,11 @@ type Config struct {
 	// per commit. Durability-on-ack is promised either way — that
 	// promise is exactly what the harness checks.
 	Group bool
+	// Visibility selects the version-control implementation (strict
+	// drain or epoch watermark). Recovery rebuilds the controller from
+	// the WAL either way; the mode must make no difference to what
+	// survives a crash.
+	Visibility vc.Mode
 }
 
 func (c Config) walOptions() wal.Options {
@@ -37,15 +43,19 @@ func (c Config) String() string {
 	if c.Group {
 		mode = "group-commit"
 	}
-	return c.Protocol.String() + "/" + mode
+	return c.Protocol.String() + "/" + mode + "/" + c.Visibility.String()
 }
 
 // Configs is the full engine matrix: all three protocols, group commit
-// on and off.
+// on and off, both visibility modes.
 func Configs() []Config {
 	var out []Config
 	for _, p := range []core.Protocol{core.TwoPhaseLocking, core.TimestampOrdering, core.Optimistic} {
-		out = append(out, Config{Protocol: p, Group: false}, Config{Protocol: p, Group: true})
+		for _, g := range []bool{false, true} {
+			for _, v := range []vc.Mode{vc.ModeStrict, vc.ModeEpoch} {
+				out = append(out, Config{Protocol: p, Group: g, Visibility: v})
+			}
+		}
 	}
 	return out
 }
@@ -57,7 +67,7 @@ func openEngine(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder
 // openEngineTraced additionally attaches a per-transaction span tracer,
 // so torture rounds can ship causal traces in their postmortem bundles.
 func openEngineTraced(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder, spans *trace.Tracer) (*core.Engine, *wal.Writer, error) {
-	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Recorder: rec, Traces: spans},
+	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Visibility: cfg.Visibility, Recorder: rec, Traces: spans},
 		core.DurableOptions{FS: fsys, WAL: cfg.walOptions()})
 }
 

@@ -107,7 +107,7 @@ func (b *Bus) Messages() uint64 { return b.messages.Load() }
 type Site struct {
 	id    int
 	store *storage.Store
-	vc    *vc.Controller
+	vc    *vc.Strict
 	locks *lock.Manager
 
 	// regMu is the registration gate: held by a distributed transaction
@@ -125,7 +125,7 @@ type Site struct {
 func (s *Site) ID() int { return s.id }
 
 // VC exposes the site's version control module (tests, experiments).
-func (s *Site) VC() *vc.Controller { return s.vc }
+func (s *Site) VC() *vc.Strict { return s.vc }
 
 // Store exposes the site's store.
 func (s *Site) Store() *storage.Store { return s.store }

@@ -10,6 +10,7 @@ import (
 	"mvdb/internal/dist"
 	"mvdb/internal/engine"
 	"mvdb/internal/lock"
+	"mvdb/internal/vc"
 )
 
 // TestConformance runs the battery against every engine configuration in
@@ -31,6 +32,18 @@ func TestConformance(t *testing.T) {
 		},
 		"vc+occ": func(rec engine.Recorder) Instance {
 			return core.New(core.Options{Protocol: core.Optimistic, Recorder: rec})
+		},
+		// The three protocols again under epoch visibility: the
+		// decentralized watermark must be behaviorally indistinguishable
+		// from the strict drain across the whole battery.
+		"vc+2pl/epoch": func(rec engine.Recorder) Instance {
+			return core.New(core.Options{Protocol: core.TwoPhaseLocking, Visibility: vc.ModeEpoch, Recorder: rec})
+		},
+		"vc+to/epoch": func(rec engine.Recorder) Instance {
+			return core.New(core.Options{Protocol: core.TimestampOrdering, Visibility: vc.ModeEpoch, Recorder: rec})
+		},
+		"vc+occ/epoch": func(rec engine.Recorder) Instance {
+			return core.New(core.Options{Protocol: core.Optimistic, Visibility: vc.ModeEpoch, Recorder: rec})
 		},
 		"mvto": func(rec engine.Recorder) Instance {
 			return baseline.NewMVTO(0, rec)

@@ -217,13 +217,19 @@ type Snapshot struct {
 
 	// Version control gauges (paper Section 6). VTNC is read before
 	// TNC, and both counters only grow, so VTNC < TNC holds in every
-	// snapshot; VisibilityLag = TNC - 1 - VTNC is the number of
-	// assigned serialization positions not yet visible, and VCQueueLen
-	// is the depth of VCQueue.
-	TNC           uint64 `json:"tnc"`
-	VTNC          uint64 `json:"vtnc"`
-	VisibilityLag uint64 `json:"visibility_lag"`
-	VCQueueLen    int    `json:"vc_queue_len"`
+	// snapshot. VisibilityMode names the controller implementation
+	// ("strict" or "epoch"); VisibilityLag = TNC - 1 - VTNC is the
+	// number of assigned serialization positions not yet visible — under
+	// strict visibility that is the drain backlog, under epoch
+	// visibility the watermark lag (distance from the newest assignment
+	// to the published epoch horizon). VCQueueLen is the depth of
+	// VCQueue under strict visibility and the outstanding
+	// (registered-but-unresolved) count under epoch visibility.
+	VisibilityMode string `json:"visibility_mode,omitempty"`
+	TNC            uint64 `json:"tnc"`
+	VTNC           uint64 `json:"vtnc"`
+	VisibilityLag  uint64 `json:"visibility_lag"`
+	VCQueueLen     int    `json:"vc_queue_len"`
 
 	// Storage shape: live keys, total committed versions, and the
 	// longest/mean version chain (what garbage collection keeps short).

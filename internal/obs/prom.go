@@ -196,8 +196,10 @@ func (sn Snapshot) WriteProm(w io.Writer) error {
 	p.Int("mvdb_vtnc", int64(sn.VTNC))
 	p.Header("mvdb_visibility_lag", "gauge", "Assigned serialization positions not yet visible (tnc-1-vtnc, paper Section 6).")
 	p.Int("mvdb_visibility_lag", int64(sn.VisibilityLag))
-	p.Header("mvdb_vc_queue_len", "gauge", "Depth of the version-control queue.")
+	p.Header("mvdb_vc_queue_len", "gauge", "Depth of the version-control queue (strict) or outstanding registrations (epoch).")
 	p.Int("mvdb_vc_queue_len", int64(sn.VCQueueLen))
+	p.Header("mvdb_visibility_info", "gauge", "Version-control identity; the mode label is the visibility implementation in force.")
+	p.Int("mvdb_visibility_info", 1, "mode", sn.VisibilityMode)
 
 	p.Header("mvdb_keys", "gauge", "Live keys in the store.")
 	p.Int("mvdb_keys", int64(sn.Keys))

@@ -219,6 +219,7 @@ func TestWritePromCompleteness(t *testing.T) {
 		"GCReclaimed":               "mvdb_gc_reclaimed_total",
 		"GCChainDepth":              "mvdb_gc_chain_depth",
 		"GCBacklog":                 "mvdb_gc_backlog",
+		"VisibilityMode":            "mvdb_visibility_info",
 		"TNC":                       "mvdb_tnc",
 		"VTNC":                      "mvdb_vtnc",
 		"VisibilityLag":             "mvdb_visibility_lag",

@@ -7,6 +7,7 @@ import (
 	"mvdb/internal/baseline"
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
+	"mvdb/internal/vc"
 )
 
 func TestInterleavingsEnumeration(t *testing.T) {
@@ -47,18 +48,32 @@ func TestInterleavingsEnumeration(t *testing.T) {
 	}
 }
 
-// protocols are the real engines every conflict suite must hold for.
-func protocols() map[string]core.Protocol {
-	return map[string]core.Protocol{
+// protocols are the real engine configurations every conflict suite
+// must hold for: the three concurrency controls crossed with both
+// visibility modes. The epoch rows certify that swapping the strict
+// drain for the decentralized watermark preserves serializability under
+// exhaustive interleaving enumeration with both oracles watching.
+func protocols() map[string]core.Options {
+	m := map[string]core.Options{}
+	for pname, p := range map[string]core.Protocol{
 		"2pl": core.TwoPhaseLocking,
 		"tso": core.TimestampOrdering,
 		"occ": core.Optimistic,
+	} {
+		for vname, v := range map[string]vc.Mode{
+			"strict": vc.ModeStrict,
+			"epoch":  vc.ModeEpoch,
+		} {
+			m[pname+"/"+vname] = core.Options{Protocol: p, Visibility: v}
+		}
 	}
+	return m
 }
 
-func realEngine(p core.Protocol) func(rec engine.Recorder) engine.Engine {
+func realEngine(opts core.Options) func(rec engine.Recorder) engine.Engine {
 	return func(rec engine.Recorder) engine.Engine {
-		return core.New(core.Options{Protocol: p, Recorder: rec})
+		opts.Recorder = rec
+		return core.New(opts)
 	}
 }
 
@@ -157,7 +172,7 @@ func TestDeadlockPair(t *testing.T) {
 			{Name: "T1", Ops: []Op{{Kind: Put, Key: "a", Value: "1"}, {Kind: Put, Key: "b", Value: "1"}, {Kind: Commit}}},
 			{Name: "T2", Ops: []Op{{Kind: Put, Key: "b", Value: "2"}, {Kind: Put, Key: "a", Value: "2"}, {Kind: Commit}}},
 		},
-		NewEngine: realEngine(core.TwoPhaseLocking),
+		NewEngine: realEngine(core.Options{Protocol: core.TwoPhaseLocking}),
 	}
 	deadlocked := 0
 	n := suite.Explore(t.Fatalf, func(r RunResult) {
@@ -303,12 +318,12 @@ func TestBrokenBaselinesAlarm(t *testing.T) {
 		{
 			name:    "early-register-2pl",
 			broken:  func() *Suite { return a1Suite(baseline.NewBrokenEarlyRegister) },
-			control: func() *Suite { return a1Suite(realEngine(core.TwoPhaseLocking)) },
+			control: func() *Suite { return a1Suite(realEngine(core.Options{Protocol: core.TwoPhaseLocking})) },
 		},
 		{
 			name:    "eager-visibility-tso",
 			broken:  func() *Suite { return a2Suite(baseline.NewBrokenEagerVisibility) },
-			control: func() *Suite { return a2Suite(realEngine(core.TimestampOrdering)) },
+			control: func() *Suite { return a2Suite(realEngine(core.Options{Protocol: core.TimestampOrdering})) },
 		},
 	}
 	for _, c := range cases {

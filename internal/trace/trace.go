@@ -42,8 +42,11 @@ const (
 	// DurNS (sync wait).
 	BlameJoinedBatch = "joined-batch"
 	// BlameQueuedBehind: at Complete time an older registered-but-
-	// incomplete transaction headed the VC queue, so our visibility is
-	// deferred to its. Fields: Tx (head TN), Depth (queue length).
+	// unresolved transaction held the visibility horizon back, so our
+	// visibility is deferred to its. Fields: Tx (oldest unresolved TN),
+	// Depth (strict: VCQueue length; epoch: watermark distance
+	// tn-vtnc-1), Watermark (vtnc at the completion instant), Epoch
+	// (watermark publish generation; always 0 under strict visibility).
 	BlameQueuedBehind = "queued-behind"
 )
 
@@ -79,6 +82,11 @@ type Blame struct {
 	Records int    `json:"records,omitempty"`
 	Depth   int    `json:"depth,omitempty"`
 	DurNS   int64  `json:"dur_ns,omitempty"`
+	// Watermark and Epoch qualify queued-behind edges: the visibility
+	// horizon (vtnc) observed at the completion instant and, under epoch
+	// visibility, the watermark publish generation it belongs to.
+	Watermark uint64 `json:"watermark,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
 }
 
 // Trace is a finished, immutable transaction trace. VisibleNS is zero
@@ -600,6 +608,9 @@ func (b Blame) String() string {
 	case BlameJoinedBatch:
 		return fmt.Sprintf("joined-batch %d leader-tn %d records %d", b.Batch, b.Tx, b.Records)
 	case BlameQueuedBehind:
+		if b.Epoch > 0 {
+			return fmt.Sprintf("queued-behind tn %d depth %d watermark %d epoch %d", b.Tx, b.Depth, b.Watermark, b.Epoch)
+		}
 		return fmt.Sprintf("queued-behind tn %d depth %d", b.Tx, b.Depth)
 	}
 	return b.Kind

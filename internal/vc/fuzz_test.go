@@ -4,17 +4,24 @@ import (
 	"testing"
 )
 
-// FuzzVCLifecycle drives a Controller through a random register /
-// complete / discard sequence decoded from the fuzz input and checks the
-// paper's version-control invariants after every step:
+// FuzzVCLifecycle drives the Strict controller through a random register
+// / complete / discard sequence decoded from the fuzz input and checks
+// the Controller contract's invariants after every step:
 //
 //   - vtnc <= tnc-1 (visibility never runs ahead of assignment),
 //   - vtnc is monotonically non-decreasing,
 //   - VCstart (the read-only start number) is never above vtnc,
-//   - VCQueue stays sorted, in-range, and sized to the live entries,
+//   - the unresolved count is bounded by the live handles,
 //
-// and, at the end, that completing every remaining transaction drains
-// the queue and catches vtnc all the way up to tnc-1.
+// and, at the end, that completing every remaining transaction resolves
+// everything and catches vtnc all the way up to tnc-1.
+//
+// The queue-shape checks (sortedness, head-is-oldest) live in
+// CheckInvariants because they are Strict implementation details, not
+// part of the Controller contract; the cross-implementation contract is
+// fuzzed by FuzzVisibilityEquivalence in internal/vc/epoch, which runs
+// the same sequence against Strict and the epoch controller and demands
+// identical vtnc at every step.
 func FuzzVCLifecycle(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 1, 0})                   // register, complete it
@@ -23,7 +30,7 @@ func FuzzVCLifecycle(f *testing.F) {
 	f.Add([]byte{3, 2, 0, 0, 1, 0, 1, 0})       // number-skipping registration
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := New(0)
-		var live []*Entry
+		var live []Handle
 		lastVTNC := c.VTNC()
 		resolved := uint64(0)
 		registered := 0

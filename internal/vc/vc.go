@@ -23,6 +23,13 @@
 // Together with vtnc < tnc, these guarantee that a read-only transaction
 // that snapshots vtnc at start observes a committed prefix of the serial
 // order that can never be perturbed by active or future transactions.
+//
+// Since the interface split, this package holds the module's *contract*
+// (the Controller interface, Handle, Mode — see controller.go) plus the
+// paper-literal Strict implementation below. The VCQueue is a Strict
+// detail, not part of the contract: the epoch implementation
+// (internal/vc/epoch) maintains the same two properties with per-lane
+// completion frontiers and a batched watermark instead of a queue.
 package vc
 
 import (
@@ -48,14 +55,18 @@ type Entry struct {
 // TN returns the transaction number assigned at registration time.
 func (e *Entry) TN() uint64 { return e.tn }
 
-// Controller is the Version Control module. The zero value is not usable;
+// Strict is the paper's Version Control module, exactly as in Figure 1: a
+// mutex-guarded VCQueue drained one transaction at a time, so vtnc
+// advances on every head completion. It is the reference implementation
+// of the Controller interface (see controller.go); the epoch-watermark
+// alternative lives in internal/vc/epoch. The zero value is not usable;
 // call New.
 //
-// Controller is safe for concurrent use. Start is wait-free (a single
+// Strict is safe for concurrent use. Start is wait-free (a single
 // atomic load), matching the paper's claim that read-only transactions
 // have "almost negligible overhead": they interact with this module once,
 // and that interaction does not contend with read-write registration.
-type Controller struct {
+type Strict struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -79,28 +90,28 @@ type Controller struct {
 	onVisible func(tn uint64, d time.Duration)
 }
 
-// New returns a Controller whose visible state is the bootstrap snapshot
-// `initial`. Data loaded before transaction processing begins should be
-// versioned with a number <= initial (conventionally 0). The first
-// registered read-write transaction receives tn = initial+1.
-func New(initial uint64) *Controller {
+// New returns a Strict controller whose visible state is the bootstrap
+// snapshot `initial`. Data loaded before transaction processing begins
+// should be versioned with a number <= initial (conventionally 0). The
+// first registered read-write transaction receives tn = initial+1.
+func New(initial uint64) *Strict {
 	return NewStrided(initial, 0, 1)
 }
 
-// NewStrided returns a Controller whose locally assigned transaction
+// NewStrided returns a Strict controller whose locally assigned transaction
 // numbers all satisfy tn ≡ offset (mod step). The distributed extension
 // (Section 6; internal/dist) gives each site one residue class, making
 // locally assigned numbers globally unique without coordination; numbers
 // outside the class can still be adopted via RegisterExact when a
 // two-phase-commit vote forces one global number onto all participants.
-func NewStrided(initial, offset, step uint64) *Controller {
+func NewStrided(initial, offset, step uint64) *Strict {
 	if step == 0 {
 		panic("vc: step must be >= 1")
 	}
 	if offset >= step {
 		panic("vc: offset must be < step")
 	}
-	c := &Controller{step: step, offset: offset}
+	c := &Strict{step: step, offset: offset}
 	c.tnc = nextAligned(initial, offset, step)
 	c.vtnc.Store(initial)
 	c.cond = sync.NewCond(&c.mu)
@@ -123,7 +134,7 @@ func nextAligned(after, offset, step uint64) uint64 {
 // Start implements VCstart() (paper Figure 1): it returns the start number
 // for a read-only transaction, i.e. the current value of vtnc. The caller
 // then serves every read from the largest version <= the returned number.
-func (c *Controller) Start() uint64 {
+func (c *Strict) Start() uint64 {
 	return c.vtnc.Load()
 }
 
@@ -132,13 +143,23 @@ func (c *Controller) Start() uint64 {
 // called at the moment the transaction's serial order becomes fixed —
 // at begin for timestamp ordering, at the lock-point for two-phase
 // locking, during validation for optimistic schemes.
-func (c *Controller) Register() *Entry {
+func (c *Strict) Register() Handle {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.registerLocked()
 }
 
-func (c *Controller) registerLocked() *Entry {
+// entry recovers the concrete queue node behind a Handle. Resolving a
+// handle issued by a different implementation is a programming error.
+func entry(h Handle) *Entry {
+	e, ok := h.(*Entry)
+	if !ok || e == nil {
+		panic("vc: handle was not issued by a Strict controller")
+	}
+	return e
+}
+
+func (c *Strict) registerLocked() *Entry {
 	e := c.newEntryLocked(c.tnc)
 	c.tnc += c.step
 	c.pushBack(e)
@@ -148,7 +169,7 @@ func (c *Controller) registerLocked() *Entry {
 // newEntryLocked builds an entry, stamping the registration time only
 // when someone is watching — the stamp is the one extra cost on the
 // register path and it is skipped entirely when phase timing is off.
-func (c *Controller) newEntryLocked(tn uint64) *Entry {
+func (c *Strict) newEntryLocked(tn uint64) *Entry {
 	e := &Entry{tn: tn}
 	if c.onVisible != nil {
 		e.regAt = time.Now().UnixNano()
@@ -161,7 +182,7 @@ func (c *Controller) newEntryLocked(tn uint64) *Entry {
 // register→visible lag. It runs with the controller's mutex held — it
 // must be cheap and must not call back into the controller. Install
 // before concurrent use; nil uninstalls.
-func (c *Controller) SetVisibleObserver(fn func(tn uint64, d time.Duration)) {
+func (c *Strict) SetVisibleObserver(fn func(tn uint64, d time.Duration)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onVisible = fn
@@ -173,7 +194,7 @@ func (c *Controller) SetVisibleObserver(fn func(tn uint64, d time.Duration)) {
 // commit-side half of the distributed max-vote: every participant of a
 // distributed transaction adopts the same globally chosen number. Local
 // assignment resumes at the next stride point past tn.
-func (c *Controller) RegisterExact(tn uint64) (*Entry, error) {
+func (c *Strict) RegisterExact(tn uint64) (*Entry, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if tn < c.tnc {
@@ -191,7 +212,7 @@ func (c *Controller) RegisterExact(tn uint64) (*Entry, error) {
 // global transaction carries the same number at every participant.
 // Skipped numbers never correspond to a transaction, so the Transaction
 // Visibility Property is unaffected.
-func (c *Controller) RegisterAtLeast(min uint64) *Entry {
+func (c *Strict) RegisterAtLeast(min uint64) *Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	tn := c.tnc
@@ -208,7 +229,7 @@ func (c *Controller) RegisterAtLeast(min uint64) *Entry {
 // assign, without assigning it. It is the "proposal" half of the
 // distributed max-vote: the coordinator gathers Reserve values from all
 // participants and registers the maximum everywhere via RegisterAtLeast.
-func (c *Controller) Reserve() uint64 {
+func (c *Strict) Reserve() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tnc
@@ -217,7 +238,8 @@ func (c *Controller) Reserve() uint64 {
 // Discard implements VCdiscard(T): it removes an aborted transaction from
 // VCQueue. If the aborted transaction was the only obstacle holding vtnc
 // back, visibility advances over the completed transactions behind it.
-func (c *Controller) Discard(e *Entry) {
+func (c *Strict) Discard(h Handle) {
+	e := entry(h)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.resolved {
@@ -237,7 +259,8 @@ func (c *Controller) Discard(e *Entry) {
 // advances vtnc to its transaction number. This is the only place vtnc
 // changes, which is exactly how the Transaction Visibility Property is
 // enforced: visibility follows serialization order, not completion order.
-func (c *Controller) Complete(e *Entry) {
+func (c *Strict) Complete(h Handle) {
+	e := entry(h)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.resolved {
@@ -251,12 +274,14 @@ func (c *Controller) Complete(e *Entry) {
 // CompleteObserved is Complete plus a causal probe: when the completing
 // transaction is not at the head of VCQueue — its visibility is being
 // deferred behind an older registered-but-incomplete transaction — fn
-// reports the head's transaction number and the queue length at that
-// instant. fn runs under the controller mutex, before the drain (after
-// it the evidence is gone: if the head completes first, the drain can
-// make this very entry visible and fire the visibility observer
-// synchronously), so it must not call back into the controller.
-func (c *Controller) CompleteObserved(e *Entry, fn func(headTN uint64, queueDepth int)) {
+// reports the obstruction: the head's transaction number, the queue
+// length, and the visibility horizon at that instant. fn runs under the
+// controller mutex, before the drain (after it the evidence is gone: if
+// the head completes first, the drain can make this very entry visible
+// and fire the visibility observer synchronously), so it must not call
+// back into the controller.
+func (c *Strict) CompleteObserved(h Handle, fn func(Obstruction)) {
+	e := entry(h)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.resolved {
@@ -265,7 +290,11 @@ func (c *Controller) CompleteObserved(e *Entry, fn func(headTN uint64, queueDept
 	e.complete = true
 	c.completions.Add(1)
 	if fn != nil && c.head != nil && c.head != e {
-		fn(c.head.tn, c.size)
+		fn(Obstruction{
+			HeadTN:    c.head.tn,
+			Depth:     c.size,
+			Watermark: c.vtnc.Load(),
+		})
 	}
 	c.drainLocked()
 }
@@ -276,7 +305,8 @@ func (c *Controller) CompleteObserved(e *Entry, fn func(headTN uint64, queueDept
 // Visibility Property. It exists only so tests can demonstrate that the
 // property is necessary — the history checker finds MVSG cycles when an
 // engine completes through this path. Never use it outside ablations.
-func (c *Controller) UnsafeCompleteEager(e *Entry) {
+func (c *Strict) UnsafeCompleteEager(h Handle) {
+	e := entry(h)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.resolved {
@@ -304,7 +334,7 @@ func (c *Controller) UnsafeCompleteEager(e *Entry) {
 // stops at the last completed entry's number; this refinement is what
 // keeps per-site visibility from stranding below a remote snapshot in the
 // distributed extension, where the stride and max-vote rules leave gaps.
-func (c *Controller) drainLocked() {
+func (c *Strict) drainLocked() {
 	advanced := false
 	var nowNS int64
 	if c.onVisible != nil {
@@ -339,7 +369,7 @@ func (c *Controller) drainLocked() {
 // rectification of delayed visibility: a read-only transaction that must
 // observe a particular read-write transaction T waits until tn(T) is
 // visible before taking its start number.
-func (c *Controller) WaitVisible(n uint64) {
+func (c *Strict) WaitVisible(n uint64) {
 	if c.vtnc.Load() >= n {
 		return
 	}
@@ -352,41 +382,44 @@ func (c *Controller) WaitVisible(n uint64) {
 
 // TNC returns the current transaction number counter (the next number to
 // be assigned).
-func (c *Controller) TNC() uint64 {
+func (c *Strict) TNC() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tnc
 }
 
 // VTNC returns the current visible transaction number counter.
-func (c *Controller) VTNC() uint64 { return c.vtnc.Load() }
+func (c *Strict) VTNC() uint64 { return c.vtnc.Load() }
 
 // Lag returns tnc-1-vtnc: how many assigned serialization positions are
 // not yet visible. Under the paper's delayed-visibility discussion this
 // is the staleness bound observed by read-only transactions.
-func (c *Controller) Lag() uint64 {
+func (c *Strict) Lag() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tnc - 1 - c.vtnc.Load()
 }
 
 // QueueLen returns the number of unresolved entries in VCQueue.
-func (c *Controller) QueueLen() int {
+func (c *Strict) QueueLen() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.size
 }
 
+// Mode identifies this implementation for gauges and matrices.
+func (c *Strict) Mode() Mode { return ModeStrict }
+
 // Completions returns the number of Complete calls observed.
-func (c *Controller) Completions() uint64 { return c.completions.Load() }
+func (c *Strict) Completions() uint64 { return c.completions.Load() }
 
 // Discards returns the number of Discard calls observed.
-func (c *Controller) Discards() uint64 { return c.discards.Load() }
+func (c *Strict) Discards() uint64 { return c.discards.Load() }
 
 // CheckInvariants verifies the module's internal consistency. It is meant
 // for tests: it validates vtnc < tnc, queue ordering, and that the queue
 // head (if any) is the oldest invisible transaction.
-func (c *Controller) CheckInvariants() error {
+func (c *Strict) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -421,7 +454,10 @@ func (c *Controller) CheckInvariants() error {
 	return nil
 }
 
-func (c *Controller) pushBack(e *Entry) {
+// Strict is the reference Controller implementation.
+var _ Controller = (*Strict)(nil)
+
+func (c *Strict) pushBack(e *Entry) {
 	if c.tail == nil {
 		c.head, c.tail = e, e
 	} else {
@@ -432,7 +468,7 @@ func (c *Controller) pushBack(e *Entry) {
 	c.size++
 }
 
-func (c *Controller) unlink(e *Entry) {
+func (c *Strict) unlink(e *Entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {

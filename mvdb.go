@@ -81,6 +81,36 @@ func coreProtocol(p Protocol) core.Protocol {
 	}
 }
 
+// VisibilityMode selects the version-control implementation behind the
+// engine: how completed transactions become visible to readers. Both
+// modes preserve the paper's Transaction Ordering and Visibility
+// Properties — the choice changes multi-core scalability, not
+// semantics, and is certified equivalent by the schedtest, audit, and
+// crashtest harnesses.
+type VisibilityMode int
+
+const (
+	// VisibilityStrict is the paper's Figure 1 queue: one mutex, one
+	// ordered drain, visibility advancing one transaction at a time in
+	// serialization order. The default.
+	VisibilityStrict VisibilityMode = iota
+	// VisibilityEpoch decentralizes completion tracking into per-lane
+	// frontiers and publishes visibility in batches at an epoch
+	// watermark (min over lane frontiers). Completions in different
+	// lanes never contend, at the cost of slightly coarser-grained
+	// visibility advancement.
+	VisibilityEpoch
+)
+
+func (m VisibilityMode) String() string { return vcMode(m).String() }
+
+func vcMode(m VisibilityMode) vc.Mode {
+	if m == VisibilityEpoch {
+		return vc.ModeEpoch
+	}
+	return vc.ModeStrict
+}
+
 // DeadlockPolicy selects how the 2PL engine resolves deadlocks.
 type DeadlockPolicy int
 
@@ -124,6 +154,10 @@ func IsRetryable(err error) bool { return engine.Retryable(err) }
 type Options struct {
 	// Protocol selects the read-write concurrency control.
 	Protocol Protocol
+	// VisibilityMode selects how completed transactions become visible:
+	// the strict per-transaction drain (default) or the decentralized
+	// epoch watermark. See the VisibilityMode constants.
+	VisibilityMode VisibilityMode
 	// DeadlockPolicy applies to TwoPhaseLocking.
 	DeadlockPolicy DeadlockPolicy
 	// LockTimeout applies to DeadlockTimeout (default 50ms).
@@ -383,14 +417,15 @@ func Open(opts Options) (*DB, error) {
 				// vtnc before tnc: both only grow, so this order can
 				// only under-report vtnc, keeping vtnc <= tnc-1 checks
 				// free of false alarms.
-				v := c.VTNC()
-				t := c.TNC()
+				v := (*c).VTNC()
+				t := (*c).TNC()
 				return t, v
 			},
 		})
 	}
 	coreOpts := core.Options{
 		Protocol:      coreProtocol(opts.Protocol),
+		Visibility:    vcMode(opts.VisibilityMode),
 		LockPolicy:    lockPolicy(opts.DeadlockPolicy),
 		LockTimeout:   opts.LockTimeout,
 		LockStripes:   opts.LockStripes,
@@ -434,7 +469,8 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		eng = core.New(coreOpts)
 	}
-	auditVC.Store(eng.VC())
+	engVC := eng.VC()
+	auditVC.Store(&engVC)
 
 	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, fs: opts.FS, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
@@ -754,7 +790,10 @@ func (db *DB) Health() *HealthMonitor { return db.monitor }
 // DefaultHealthSLOs is the objective set Options.Health uses when
 // Options.HealthSLOs is empty: ceilings generous enough that a healthy
 // engine under load never pages, tight enough that a stalled fsync,
-// runaway conflict storm, or wedged visibility drain does.
+// runaway conflict storm, or wedged visibility advance does. The
+// visibility-lag ceiling applies under either visibility mode: under
+// strict it bounds the drain backlog, under epoch the watermark lag —
+// either way a breach means completed work is not becoming visible.
 func DefaultHealthSLOs() []HealthSLO {
 	return []HealthSLO{
 		{Name: "commit-p99", Metric: "commit_p99_ns", Max: 250e6},
