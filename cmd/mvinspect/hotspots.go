@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mvdb/internal/hotspot"
+	"mvdb/internal/metrics"
+)
+
+// runHotspots polls a running database's /debug/mvdb/hotspot endpoint
+// (enabled by mvdb.Options.Hotspot with DebugAddr) and renders each
+// report: ranked hot keys by operation, conflict pairs, the per-stripe
+// contention heatmap, and the epoch-lane occupancy when the engine runs
+// epoch visibility. count == 0 polls until interrupted; fetch failures
+// reconnect with the same capped backoff as -live.
+func runHotspots(addr string, interval time.Duration, count int) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	url := "http://" + addr + "/debug/mvdb/hotspot"
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		rep, err := retry(url, 15*time.Second, func() (*hotspot.Report, error) {
+			return fetchHotspot(client, url)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvinspect: giving up: %v\n", err)
+			os.Exit(1)
+		}
+		tb := hotspotTable(addr, rep)
+		fmt.Print(tb.String())
+	}
+}
+
+func fetchHotspot(client *http.Client, url string) (*hotspot.Report, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s (is the database running with Hotspot enabled?)", url, resp.Status)
+	}
+	var rep hotspot.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &rep, nil
+}
+
+func hotspotTable(addr string, r *hotspot.Report) metrics.Table {
+	tb := metrics.Table{
+		Title:   fmt.Sprintf("%s hotspots — %s", addr, time.Now().Format("15:04:05")),
+		Headers: []string{"metric", "value"},
+	}
+	tb.AddRow("touches (total/sampled/shed)",
+		fmt.Sprintf("%d / %d / %d (1 in %d)", r.Touches, r.Sampled, r.Shed, r.SampleEvery))
+	addKeys := func(label string, keys []hotspot.HotKey) {
+		for i, k := range keys {
+			// Count-Err is the sketch's guaranteed lower bound on the
+			// key's true touch count.
+			tb.AddRow(fmt.Sprintf("%s #%d", label, i+1),
+				fmt.Sprintf("%q >=%d (est %d)", k.Key, k.Count-k.Err, k.Count))
+		}
+	}
+	addKeys("write", r.HotWrites)
+	addKeys("read", r.HotReads)
+	for _, c := range r.Conflicts {
+		tb.AddRow("conflict "+c.Cause, fmt.Sprintf("%q x%d", c.Key, c.Count))
+	}
+	if r.TotalStripes > 0 {
+		tb.AddRow("lock stripes", fmt.Sprint(r.TotalStripes))
+	}
+	for _, s := range r.Stripes {
+		tb.AddRow(fmt.Sprintf("stripe %d", s.Stripe),
+			fmt.Sprintf("waits=%d wait=%s wounds=%d hold=%s",
+				s.Waits, metrics.Dur(s.WaitNanos), s.Wounds, metrics.Dur(s.HoldNanos)))
+	}
+	if r.ChainDepth.Count > 0 {
+		tb.AddRow("version chain depth p50/p99/max",
+			fmt.Sprintf("%d / %d / %d", r.ChainDepth.P50, r.ChainDepth.P99, r.ChainDepth.Max))
+	}
+	if r.SnapshotAge.Count > 0 {
+		tb.AddRow("snapshot age p50/p99/max (txns)",
+			fmt.Sprintf("%d / %d / %d", r.SnapshotAge.P50, r.SnapshotAge.P99, r.SnapshotAge.Max))
+	}
+	if len(r.Lanes) > 0 {
+		tb.AddRow("epoch / watermark", fmt.Sprintf("%d / %d", r.Epoch, r.Watermark))
+		for i, f := range r.Lanes {
+			mark := ""
+			if i == r.StallLane {
+				mark = "  <- stall lane (lowest frontier)"
+			}
+			tb.AddRow(fmt.Sprintf("lane %d frontier", i), fmt.Sprintf("%d%s", f, mark))
+		}
+	}
+	return tb
+}

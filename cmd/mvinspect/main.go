@@ -22,6 +22,12 @@
 // lock, which group-commit batch it fsynced behind, whom it queued
 // behind in the visibility drain.
 //
+// With -hotspots it polls a running database's /debug/mvdb/hotspot
+// endpoint (enabled by mvdb.Options.Hotspot) and renders the contention
+// cartography: ranked hot keys by read/write, conflict pairs by abort
+// cause, the per-stripe lock heatmap, chain-depth and snapshot-age
+// distributions, and epoch-lane occupancy with the stall lane marked.
+//
 // With -health it polls a running database's /debug/mvdb/health
 // endpoint (enabled by mvdb.Options.Health) and renders the windowed
 // health timeline as sparkline rows per metric and resolution level,
@@ -62,10 +68,15 @@ func main() {
 		healthAt = flag.String("health", "", "poll a running database's health timeline (host:port) as sparkline dashboards")
 		metric   = flag.String("metric", "", "restrict -health to one metric")
 		level    = flag.Int("level", -1, "restrict -health to one resolution level")
+		hotspots = flag.String("hotspots", "", "poll a running database's hotspot profile (host:port): hot keys, conflict pairs, stripe heatmap")
 	)
 	flag.Parse()
 	if *live != "" {
 		runLive(*live, *interval, *count)
+		return
+	}
+	if *hotspots != "" {
+		runHotspots(*hotspots, *interval, *count)
 		return
 	}
 	if *healthAt != "" {

@@ -8,9 +8,9 @@
 //
 // Usage:
 //
-//	mvsoak [-duration 60s] [-protocol 2pl|to|occ|all] [-vc strict|epoch|all]
+//	mvsoak [-duration 60s] [-protocol 2pl|to|occ|adaptive|all] [-vc strict|epoch|all]
 //	       [-clients N] [-keys N] [-zipf S] [-ro F] [-rmw] [-group]
-//	       [-checkpoint 10s] [-gc 200ms] [-interval 1s]
+//	       [-checkpoint 10s] [-gc 200ms] [-interval 1s] [-hotspots]
 //	       [-dir D] [-json out.json] [-v]
 //
 // Each selected protocol × visibility-mode pair gets an equal share of
@@ -37,6 +37,7 @@ import (
 
 	"mvdb"
 	"mvdb/internal/health"
+	"mvdb/internal/hotspot"
 	"mvdb/internal/workload"
 )
 
@@ -67,6 +68,11 @@ type protocolResult struct {
 	Drift    []health.DriftResult `json:"drift,omitempty"`
 	Timeline string               `json:"timeline,omitempty"`
 	Bundle   string               `json:"bundle,omitempty"`
+
+	// With -hotspots: the profiler's ranked hot keys (writes, then reads
+	// when no writes were sampled) and any adaptive knob actions taken.
+	TopKeys     []hotspot.HotKey `json:"top_keys,omitempty"`
+	KnobActions int64            `json:"knob_actions,omitempty"`
 }
 
 // driftChecks are the soak oracle's "no monotonic creep" bounds:
@@ -82,7 +88,7 @@ var driftChecks = []health.DriftCheck{
 func main() {
 	var (
 		duration   = flag.Duration("duration", 60*time.Second, "total wall-clock budget, split across protocols")
-		protocol   = flag.String("protocol", "all", "2pl, to, occ, or all")
+		protocol   = flag.String("protocol", "all", "2pl, to, occ, adaptive (AdaptiveCC + knob controller), or all")
 		vcFlag     = flag.String("vc", "all", "visibility mode: strict, epoch, or all (both)")
 		clients    = flag.Int("clients", 4, "concurrent workload clients per protocol")
 		keys       = flag.Int("keys", 512, "key-space size")
@@ -94,6 +100,7 @@ func main() {
 		gcEvery    = flag.Duration("gc", 200*time.Millisecond, "background GC period (0 disables)")
 		interval   = flag.Duration("interval", time.Second, "health monitor base sampling period")
 		dir        = flag.String("dir", "", "working directory (default: a fresh temp dir, removed on success)")
+		hotspots   = flag.Bool("hotspots", false, "enable the hotspot profiler; verdicts carry top-K hot keys")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		jsonOut    = flag.String("json", "", "write the machine-readable verdict to this file")
 		verbose    = flag.Bool("v", false, "log progress per protocol")
@@ -136,7 +143,7 @@ func main() {
 	per := *duration / time.Duration(len(protocols)*len(modes))
 	for _, p := range protocols {
 		for _, m := range modes {
-			res := runProtocol(p, m, base, per, cfg, *clients, *group, *checkpoint, *gcEvery, *interval, *verbose)
+			res := runProtocol(p, m, base, per, cfg, *clients, *group, *checkpoint, *gcEvery, *interval, *hotspots, *verbose)
 			name := p + "/" + m
 			if res.Pass {
 				fmt.Printf("PASS %-10s: %d rw + %d ro commits, %d aborts, %d retries, %d points, alarms warn=%d page=%d\n",
@@ -173,7 +180,7 @@ func selectProtocols(sel string) []string {
 	switch sel {
 	case "all", "":
 		return []string{"2pl", "to", "occ"}
-	case "2pl", "to", "occ":
+	case "2pl", "to", "occ", "adaptive":
 		return []string{sel}
 	}
 	return nil
@@ -208,7 +215,7 @@ func mvdbProtocol(p string) mvdb.Protocol {
 }
 
 func runProtocol(proto, mode, base string, budget time.Duration, cfg workload.Config,
-	clients int, group bool, checkpoint, gcEvery, interval time.Duration, verbose bool) protocolResult {
+	clients int, group bool, checkpoint, gcEvery, interval time.Duration, hotspots, verbose bool) protocolResult {
 
 	res := protocolResult{Protocol: proto, Visibility: mode}
 	fail := func(format string, args ...any) {
@@ -221,6 +228,7 @@ func runProtocol(proto, mode, base string, budget time.Duration, cfg workload.Co
 	}
 	db, err := mvdb.Open(mvdb.Options{
 		Protocol:       mvdbProtocol(proto),
+		AdaptiveCC:     proto == "adaptive",
 		VisibilityMode: mvdbVisibility(mode),
 		WALPath:        filepath.Join(d, "commit.log"),
 		GroupCommit:    group,
@@ -230,6 +238,7 @@ func runProtocol(proto, mode, base string, budget time.Duration, cfg workload.Co
 		HealthInterval: interval,
 		FlightDir:      d,
 		TraceSample:    0.02,
+		Hotspot:        hotspots,
 	})
 	if err != nil {
 		fail("open: %v", err)
@@ -336,6 +345,18 @@ func runProtocol(proto, mode, base string, budget time.Duration, cfg workload.Co
 	sn := db.Stats()
 	res.CommitsRW, res.CommitsRO = sn.CommitsRW, sn.CommitsRO
 	res.Aborts, res.Retries = sn.AbortsTotal(), sn.Retries
+	if rep := db.Hotspots(); rep != nil {
+		res.TopKeys = rep.HotWrites
+		if len(res.TopKeys) == 0 {
+			res.TopKeys = rep.HotReads
+		}
+		if len(res.TopKeys) > 8 {
+			res.TopKeys = res.TopKeys[:8]
+		}
+	}
+	// Knob actions only exist under AdaptiveCC; read the Extra map
+	// defensively so plain soak configs report 0.
+	res.KnobActions = sn.Extra["adaptive.knob_actions"]
 
 	res.Pass = len(res.Reasons) == 0
 	if !res.Pass {

@@ -24,6 +24,8 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
 	"mvdb/internal/health"
+	"mvdb/internal/hotspot"
+	"mvdb/internal/obs"
 )
 
 // Options configures the adaptive engine.
@@ -43,6 +45,22 @@ type Options struct {
 	// LowWater is the rate at or below which it switches back to
 	// optimistic execution (default 0.05).
 	LowWater float64
+
+	// The knob-controller taps (all optional; a nil tap disables that
+	// knob). When any is set and a health monitor drives the policy,
+	// OnHealth also runs the knob controller (knobs.go) once per
+	// well-sampled tick.
+	//
+	// WAL is the group-commit batching surface (*wal.Writer).
+	WAL WALKnobs
+	// Epoch is the epoch publisher's coalescing surface
+	// (*epoch.Controller); nil under strict visibility.
+	Epoch EpochKnobs
+	// Hotspot returns the workload profiler's report, consulted for the
+	// stripe-count recommendation.
+	Hotspot func() *hotspot.Report
+	// Ring, when set, receives one EvKnob event per knob decision.
+	Ring *obs.Tracer
 }
 
 // Engine is an adaptive-concurrency-control engine. It implements
@@ -70,6 +88,10 @@ type Engine struct {
 	// policy input — same thresholds, better-conditioned signal.
 	healthDriven  atomic.Bool
 	healthSignals atomic.Uint64
+
+	// Knob-controller state (knobs.go).
+	knobActions atomic.Uint64
+	recStripes  atomic.Int64
 }
 
 // New creates an adaptive engine over a fresh core engine.
@@ -130,6 +152,8 @@ func (e *Engine) Stats() map[string]int64 {
 	m["adaptive.switches"] = int64(e.switches.Load())
 	m["adaptive.protocol"] = int64(e.inner.Protocol())
 	m["adaptive.health_signals"] = int64(e.healthSignals.Load())
+	m["adaptive.knob_actions"] = int64(e.knobActions.Load())
+	m["adaptive.recommended_stripes"] = e.recStripes.Load()
 	return m
 }
 
@@ -155,6 +179,11 @@ func (e *Engine) OnHealth(sig health.Signal) {
 	if sig.Point.Ops < minHealthOps {
 		return
 	}
+	// The knob controller shares the protocol policy's sampling guard:
+	// an interval too thin to read a conflict rate from is too thin to
+	// retune batching over. Synchronous on the monitor goroutine — the
+	// knob setters are lock-cheap and never block on transactions.
+	e.evalKnobs(sig)
 	rate := sig.Point.AbortFrac
 	switch {
 	case rate >= e.opts.HighWater && e.inner.Protocol() != core.TwoPhaseLocking:

@@ -1,0 +1,193 @@
+// The knob controller: the second half of the adaptive loop. Protocol
+// switching (adaptive.go) picks WHICH concurrency control runs; the
+// knob controller tunes HOW the rest of the engine runs — WAL
+// group-commit batching and the epoch publisher's coalescing — using
+// the same health Signal, enriched with the hotspot profiler's Report.
+//
+// Policy shape: every knob is a small ladder stepped at most one rung
+// per health tick, so a noisy interval can nudge but never slam the
+// engine, and every step is recorded as an EvKnob trace event — the
+// decision history is replayable from the ring.
+//
+// Stripe count is deliberately recommend-only: the lock table cannot be
+// re-striped while transactions hold locks, so the controller publishes
+// the recommendation (Stats, obs.Snapshot) for the next boot instead of
+// acting on it.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"mvdb/internal/health"
+	"mvdb/internal/hotspot"
+	"mvdb/internal/obs"
+)
+
+// WALKnobs is the group-commit surface the controller tunes.
+// *wal.Writer satisfies it.
+type WALKnobs interface {
+	SetBatchKnobs(maxRecords int, maxDelay time.Duration)
+	BatchKnobs() (maxRecords int, maxDelay time.Duration)
+}
+
+// EpochKnobs is the epoch publisher's coalescing surface.
+// *epoch.Controller satisfies it.
+type EpochKnobs interface {
+	SetPublishEvery(n int)
+	PublishEvery() int
+}
+
+// Knob-policy thresholds. Exported nowhere: they are the controller's
+// opinion, and EXPERIMENTS.md O7 is where that opinion is audited.
+const (
+	// knobMinCommitRate is the read-write commit rate (per second) below
+	// which batching knobs never step up — batching a trickle only adds
+	// latency.
+	knobMinCommitRate = 100.0
+	// knobFsyncHigh: above this fsyncs-per-commit ratio the group
+	// committer is absorbing too little — step the batch window up.
+	knobFsyncHigh = 0.6
+	// knobFsyncLow: below this the window is already more than wide
+	// enough — step back down and return the latency.
+	knobFsyncLow = 0.1
+	// knobLagHigh is the visibility lag (tn - vtnc) above which the
+	// epoch publisher must stop coalescing entirely.
+	knobLagHigh = 64
+	// knobLagLow is the lag at or below which coalescing may increase.
+	knobLagLow = 8
+	// knobPublishCap bounds the publish-coalescing factor.
+	knobPublishCap = 8
+	// knobStripeSkew: one stripe carrying more than this fraction of all
+	// lock waits marks the table as skew-bound.
+	knobStripeSkew = 0.5
+	// knobStripeMinWaits is the minimum wait count before skew is
+	// believed — three waits on a quiet engine are not a hotspot.
+	knobStripeMinWaits = 32
+	// knobStripeCap bounds the stripe recommendation.
+	knobStripeCap = 1024
+)
+
+// walDelayLadder is the batch-window schedule, stepped one rung per
+// decision; walRecordsLadder scales the record cap in lockstep so a
+// wider window can actually fill.
+var (
+	walDelayLadder   = []time.Duration{0, 200 * time.Microsecond, 500 * time.Microsecond, time.Millisecond}
+	walRecordsLadder = []int{32, 64, 128, 256}
+)
+
+// recordKnob counts one knob decision and drops it in the event ring:
+// Key is "knob=value", N the new numeric value, Dur the previous one.
+func (e *Engine) recordKnob(name, value string, prev, cur int64) {
+	e.knobActions.Add(1)
+	e.opts.Ring.Record(obs.Event{
+		Type: obs.EvKnob,
+		Key:  name + "=" + value,
+		Dur:  prev,
+		N:    cur,
+	})
+}
+
+// evalKnobs is the knob controller's decision function, run once per
+// well-sampled health tick on the monitor's goroutine. Each knob moves
+// at most one step per call.
+func (e *Engine) evalKnobs(sig health.Signal) {
+	p := sig.Point
+	if w := e.opts.WAL; w != nil {
+		e.evalWAL(w, p)
+	}
+	if ep := e.opts.Epoch; ep != nil {
+		e.evalEpoch(ep, p)
+	}
+	if e.opts.Hotspot != nil {
+		e.evalStripes(e.opts.Hotspot())
+	}
+}
+
+// evalWAL steps the group-commit window along the delay ladder: up when
+// commits are fsync-bound at volume, down when the window is wider than
+// the workload needs (or traffic died away — no reason to hold commits
+// hostage to a batch that will never fill).
+func (e *Engine) evalWAL(w WALKnobs, p health.Point) {
+	_, curDelay := w.BatchKnobs()
+	rung := 0
+	for i, d := range walDelayLadder {
+		if curDelay >= d {
+			rung = i
+		}
+	}
+	next := rung
+	switch {
+	case p.FsyncPerCommit > knobFsyncHigh && p.CommitRateRW >= knobMinCommitRate:
+		next = rung + 1
+	case p.FsyncPerCommit < knobFsyncLow || p.CommitRateRW < knobMinCommitRate/10:
+		next = rung - 1
+	}
+	if next < 0 {
+		next = 0
+	}
+	if next >= len(walDelayLadder) {
+		next = len(walDelayLadder) - 1
+	}
+	if next == rung {
+		return
+	}
+	d := walDelayLadder[next]
+	w.SetBatchKnobs(walRecordsLadder[next], d)
+	e.recordKnob("wal.batch_delay", d.String(), curDelay.Nanoseconds(), d.Nanoseconds())
+}
+
+// evalEpoch tunes the epoch publisher's coalescing: any sign of
+// visibility lag kills coalescing outright (visibility is correctness-
+// adjacent; cheapness is not worth a stale horizon), and only a busy,
+// low-lag engine earns a doubling.
+func (e *Engine) evalEpoch(ep EpochKnobs, p health.Point) {
+	cur := ep.PublishEvery()
+	next := cur
+	switch {
+	case p.VisibilityLag > knobLagHigh:
+		next = 1
+	case p.CommitRateRW >= knobMinCommitRate && p.VisibilityLag <= knobLagLow && cur < knobPublishCap:
+		next = cur * 2
+	}
+	if next == cur {
+		return
+	}
+	ep.SetPublishEvery(next)
+	e.recordKnob("epoch.publish_every", fmt.Sprintf("%d", next), int64(cur), int64(next))
+}
+
+// evalStripes publishes a next-boot stripe-count recommendation when
+// one stripe carries the majority of all lock waits. Recommend-only:
+// the lock table cannot be re-striped live.
+func (e *Engine) evalStripes(r *hotspot.Report) {
+	if r == nil || r.TotalStripes <= 0 {
+		return
+	}
+	var total, peak int64
+	for _, s := range r.Stripes {
+		total += s.Waits
+		if s.Waits > peak {
+			peak = s.Waits
+		}
+	}
+	if total < knobStripeMinWaits || float64(peak) <= knobStripeSkew*float64(total) {
+		return
+	}
+	rec := r.TotalStripes * 2
+	if rec > knobStripeCap {
+		rec = knobStripeCap
+	}
+	if int64(rec) <= e.recStripes.Load() || rec <= r.TotalStripes {
+		return
+	}
+	prev := e.recStripes.Swap(int64(rec))
+	e.recordKnob("lock.stripes.recommended", fmt.Sprintf("%d", rec), prev, int64(rec))
+}
+
+// KnobActions returns how many knob decisions the controller has made.
+func (e *Engine) KnobActions() uint64 { return e.knobActions.Load() }
+
+// RecommendedStripes returns the published next-boot stripe
+// recommendation (0 when none).
+func (e *Engine) RecommendedStripes() int { return int(e.recStripes.Load()) }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mvdb/internal/engine"
+	"mvdb/internal/hotspot"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/storage"
@@ -113,6 +114,13 @@ type Options struct {
 	// commit, and the VC drain. Nil keeps the hot path at one pointer
 	// test and zero allocations.
 	Traces *trace.Tracer
+	// Hotspot, when non-nil, enables the workload profiler
+	// (internal/hotspot): sampled per-key read/write touches, a
+	// per-stripe lock-contention heatmap, abort-cause × key conflict
+	// pairs, and epoch-lane occupancy, all surfaced through Snapshot.
+	// Nil keeps every hot-path hook at one pointer test and zero
+	// allocations.
+	Hotspot *hotspot.Profiler
 
 	// UnsafeEarlyRegister2PL is ablation A1: it makes the 2PL engine
 	// register transactions with version control at begin instead of at
@@ -150,7 +158,10 @@ type Engine struct {
 	// Options.PhaseTiming (nil keeps every timing site to one nil test).
 	phases *obs.PhaseStats
 	// traces is the causal span tracer; nil unless Options.Traces.
-	traces          *trace.Tracer
+	traces *trace.Tracer
+	// hot is the workload profiler; nil unless Options.Hotspot (nil
+	// keeps every touch/conflict hook to one nil test).
+	hot             *hotspot.Profiler
 	closed          atomic.Bool
 	bootstrapSealed atomic.Bool
 }
@@ -183,15 +194,21 @@ func New(opts Options) *Engine {
 	// feeds the wait-time histogram and (when tracing) lock-wait events.
 	e.locks = lock.NewManagerStriped(opts.LockPolicy, opts.LockTimeout, opts.LockStripes)
 	e.traces = opts.Traces
+	e.hot = opts.Hotspot
 	e.locks.SetWaitObserver(func(txID uint64, key string, stripe int, blocker uint64, wait time.Duration) {
 		e.stats.LockWaitNanos.Record(wait.Nanoseconds())
-		// phases.Record and traces.OnLockWait are nil-safe; only 2PL
-		// transactions reach the lock manager, so the attribution row
-		// is fixed.
+		// phases.Record, traces.OnLockWait, and hot.RecordStripeWait are
+		// nil-safe; only 2PL transactions reach the lock manager, so the
+		// attribution row is fixed.
 		e.phases.Record(obs.Proto2PL, obs.PhaseLockWait, txID, wait)
 		e.traces.OnLockWait(txID, key, stripe, blocker, wait)
+		e.hot.RecordStripeWait(stripe, wait)
 		opts.Trace.Record(obs.Event{Type: obs.EvLockWait, Tx: txID, Key: key, Dur: wait.Nanoseconds()})
 	})
+	if e.hot != nil {
+		e.hot.BindStripes(e.locks.Stripes())
+		e.bindHotVC()
+	}
 	if opts.PhaseTiming {
 		e.phases = obs.NewPhaseStats(opts.Trace)
 	}
@@ -228,6 +245,21 @@ func (e *Engine) observeVC() {
 		e.phases.Record(e.protoIdx(), obs.PhaseVisibleWait, tn, d)
 		e.traces.OnVisible(tn, d)
 	})
+}
+
+// bindHotVC points the workload profiler's visibility taps at the
+// current controller. Called at construction and again whenever the
+// controller is replaced (recovery). Lane frontiers exist only under
+// epoch visibility; the watermark tap works in both modes.
+func (e *Engine) bindHotVC() {
+	if e.hot == nil {
+		return
+	}
+	if ec, ok := e.vc.(*epoch.Controller); ok {
+		e.hot.BindVC(ec.LaneFrontiers, ec.Epoch, ec.VTNC)
+	} else {
+		e.hot.BindVC(nil, nil, e.vc.VTNC)
+	}
 }
 
 // protoIdx maps the current protocol onto the phase matrix's row. The
@@ -404,6 +436,7 @@ func (e *Engine) Snapshot() obs.Snapshot {
 	}
 	sn.StoreWaits = int64(e.store.TotalWaits())
 	sn.Phases = e.phases.Summaries()
+	sn.Hotspot = e.hot.Report() // nil-safe: nil profiler, nil section
 	if e.opts.WAL != nil {
 		a, f, b := e.opts.WAL.Counters()
 		sn.WALAppends = int64(a)

@@ -151,6 +151,7 @@ func RestoreFS(fsys faultfs.FS, base []wal.Record, horizon uint64, path string, 
 	}
 	e.vc = newController(e.opts.Visibility, maxTN)
 	e.observeVC() // the replaced controller needs the phase observer rewired
+	e.bindHotVC() // ... and the hotspot profiler's visibility taps
 	return e, validLen, nil
 }
 

@@ -80,9 +80,11 @@ func (t *occTx) get(key string) ([]byte, error) {
 		// The object moved under us between two reads; the transaction
 		// can no longer validate, so fail fast.
 		t.e.stats.AbortsConflict.Inc()
+		t.e.hot.RecordConflict("occ-read", key)
 		t.abortInternal()
 		return nil, engine.ErrConflict
 	}
+	t.e.hot.TouchRead(key)
 	t.readSet[key] = v.TN
 	t.e.rec.RecordRead(t.id, key, v.TN)
 	if v.Tombstone {
@@ -96,6 +98,7 @@ func (t *occTx) Put(key string, value []byte) error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	t.e.hot.TouchWrite(key)
 	t.buf[key] = bufWrite{data: value}
 	return nil
 }
@@ -105,6 +108,7 @@ func (t *occTx) Delete(key string) error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	t.e.hot.TouchWrite(key)
 	t.buf[key] = bufWrite{tombstone: true}
 	return nil
 }
@@ -141,6 +145,7 @@ func (t *occTx) Commit() error {
 				ph.PprofExit()
 				t.tr.Span(obs.PhaseValidate.String(), tVal, d)
 			}
+			e.hot.RecordConflict("occ-validate", key)
 			e.stats.AbortsConflict.Inc()
 			e.rec.RecordAbort(t.id)
 			t.tr.FinishAbort()

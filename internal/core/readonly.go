@@ -87,6 +87,7 @@ func (t *roTx) get(key string) ([]byte, error) {
 		t.e.rec.RecordRead(t.id, key, 0)
 		return nil, engine.ErrNotFound
 	}
+	t.e.hot.TouchRead(key)
 	t.e.rec.RecordRead(t.id, key, v.TN)
 	if v.Tombstone {
 		return nil, engine.ErrNotFound

@@ -84,6 +84,7 @@ func (t *tsoTx) get(key string) ([]byte, error) {
 		t.e.rec.RecordRead(t.id, key, 0)
 		return nil, engine.ErrNotFound
 	}
+	t.e.hot.TouchRead(key)
 	if _, own := t.pending[key]; !(own && v.TN == t.tn) {
 		t.e.rec.RecordRead(t.id, key, v.TN)
 	}
@@ -111,6 +112,7 @@ func (t *tsoTx) write(key string, value []byte, tombstone bool) error {
 	}
 	o := t.e.store.GetOrCreate(key)
 	if err := o.TOWrite(t.tn, value, tombstone); err != nil {
+		t.e.hot.RecordConflict("to-write", key)
 		t.e.stats.AbortsConflict.Inc()
 		if errors.Is(err, storage.ErrConflictRO) {
 			// Structurally unreachable in this engine: read-only
@@ -121,6 +123,7 @@ func (t *tsoTx) write(key string, value []byte, tombstone bool) error {
 		t.abortInternal()
 		return engine.ErrConflict
 	}
+	t.e.hot.TouchWrite(key)
 	t.pending[key] = struct{}{}
 	t.writes[key] = bufWrite{data: value, tombstone: tombstone}
 	return nil

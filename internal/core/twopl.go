@@ -34,6 +34,11 @@ type twoPhaseTx struct {
 	done  bool
 	tn    uint64        // assigned at commit
 	tr    *trace.Active // nil unless this transaction was head-sampled
+	// lockedAt is the wall-clock instant of the first lock acquisition;
+	// zero unless the hotspot profiler is on. The release paths charge
+	// the full first-lock→release span to every held key's stripe as
+	// hold time — the 2PL growing+shrinking window the heatmap wants.
+	lockedAt time.Time
 }
 
 type bufWrite struct {
@@ -69,6 +74,7 @@ func (t *twoPhaseTx) Get(key string) ([]byte, error) {
 	if err := t.acquire(key, lock.Shared); err != nil {
 		return nil, err
 	}
+	t.e.hot.TouchRead(key)
 	o := t.e.store.Get(key)
 	if o == nil {
 		// Absent key: the shared lock still guards against a concurrent
@@ -97,6 +103,7 @@ func (t *twoPhaseTx) Put(key string, value []byte) error {
 	if err := t.acquire(key, lock.Exclusive); err != nil {
 		return err
 	}
+	t.e.hot.TouchWrite(key)
 	t.buf[key] = bufWrite{data: value}
 	return nil
 }
@@ -110,6 +117,7 @@ func (t *twoPhaseTx) Delete(key string) error {
 	if err := t.acquire(key, lock.Exclusive); err != nil {
 		return err
 	}
+	t.e.hot.TouchWrite(key)
 	t.buf[key] = bufWrite{tombstone: true}
 	return nil
 }
@@ -119,27 +127,48 @@ func (t *twoPhaseTx) Delete(key string) error {
 func (t *twoPhaseTx) acquire(key string, mode lock.Mode) error {
 	err := t.e.locks.Acquire(t.id, key, mode)
 	if err == nil {
+		if t.e.hot != nil && t.lockedAt.IsZero() {
+			t.lockedAt = time.Now()
+		}
 		return nil
 	}
 	var mapped error
+	var cause string
 	switch {
 	case errors.Is(err, lock.ErrDeadlock):
 		t.e.stats.AbortsDeadlock.Inc()
-		mapped = engine.ErrDeadlock
+		mapped, cause = engine.ErrDeadlock, "deadlock"
 	case errors.Is(err, lock.ErrWounded):
 		t.e.stats.AbortsWounded.Inc()
-		mapped = engine.ErrWounded
+		mapped, cause = engine.ErrWounded, "wounded"
+		t.e.hot.RecordWound(t.e.locks.StripeOf(key))
 	case errors.Is(err, lock.ErrTimeout):
 		// Counted as its own cause; still surfaced as ErrDeadlock because
 		// a timeout is the timeout policy's deadlock presumption.
 		t.e.stats.AbortsTimeout.Inc()
 		mapped = fmt.Errorf("%w (lock wait timeout)", engine.ErrDeadlock)
+		cause = "timeout"
 	default:
 		t.e.stats.AbortsConflict.Inc()
-		mapped = engine.ErrConflict
+		mapped, cause = engine.ErrConflict, "conflict"
 	}
+	t.e.hot.RecordConflict(cause, key)
 	t.abortInternal()
 	return mapped
+}
+
+// recordHolds charges the first-lock→release span as hold time to every
+// buffered write key's stripe (read-lock-only keys are not retained by
+// the transaction and are skipped). Called on both release paths, only
+// when the profiler is on.
+func (t *twoPhaseTx) recordHolds() {
+	if t.e.hot == nil || t.lockedAt.IsZero() {
+		return
+	}
+	held := time.Since(t.lockedAt)
+	for key := range t.buf {
+		t.e.hot.RecordHold(t.e.locks.StripeOf(key), held)
+	}
 }
 
 // Commit implements engine.Tx, following Figure 4's end(T) sequence:
@@ -167,6 +196,7 @@ func (t *twoPhaseTx) Commit() error {
 
 	if err := t.e.appendWAL(obs.Proto2PL, t.id, t.tn, t.buf, t.tr); err != nil {
 		t.e.vc.Discard(entry)
+		t.recordHolds()
 		t.e.locks.ReleaseAll(t.id)
 		t.e.rec.RecordAbort(t.id)
 		t.tr.FinishAbort()
@@ -191,6 +221,7 @@ func (t *twoPhaseTx) Commit() error {
 	}
 	t.e.rec.RecordCommit(t.id, t.tn)
 
+	t.recordHolds()
 	t.e.locks.ReleaseAll(t.id)
 	t.e.complete(entry, t.tr)
 	t.e.stats.CommitsRW.Inc()
@@ -211,6 +242,7 @@ func (t *twoPhaseTx) abortInternal() {
 		return
 	}
 	t.done = true
+	t.recordHolds()
 	t.e.locks.ReleaseAll(t.id)
 	if t.entry != nil {
 		t.e.vc.Discard(t.entry)

@@ -11,6 +11,7 @@ import (
 	"mvdb/internal/engine"
 	"mvdb/internal/faultfs"
 	"mvdb/internal/history"
+	"mvdb/internal/hotspot"
 	"mvdb/internal/storage"
 	"mvdb/internal/trace"
 	"mvdb/internal/vc"
@@ -61,13 +62,14 @@ func Configs() []Config {
 }
 
 func openEngine(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder) (*core.Engine, *wal.Writer, error) {
-	return openEngineTraced(fsys, walPath, cfg, rec, nil)
+	return openEngineTraced(fsys, walPath, cfg, rec, nil, nil)
 }
 
-// openEngineTraced additionally attaches a per-transaction span tracer,
-// so torture rounds can ship causal traces in their postmortem bundles.
-func openEngineTraced(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder, spans *trace.Tracer) (*core.Engine, *wal.Writer, error) {
-	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Visibility: cfg.Visibility, Recorder: rec, Traces: spans},
+// openEngineTraced additionally attaches a per-transaction span tracer
+// and a workload profiler, so torture rounds can ship causal traces in
+// their postmortem bundles and accumulate hot keys across incarnations.
+func openEngineTraced(fsys faultfs.FS, walPath string, cfg Config, rec engine.Recorder, spans *trace.Tracer, prof *hotspot.Profiler) (*core.Engine, *wal.Writer, error) {
+	return core.OpenDurable(walPath, core.Options{Protocol: cfg.Protocol, Visibility: cfg.Visibility, Recorder: rec, Traces: spans, Hotspot: prof},
 		core.DurableOptions{FS: fsys, WAL: cfg.walOptions()})
 }
 

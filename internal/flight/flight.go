@@ -34,6 +34,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/faultfs"
 	"mvdb/internal/health"
+	"mvdb/internal/hotspot"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/trace"
@@ -41,8 +42,8 @@ import (
 
 // SchemaVersion identifies the bundle format. Bump on any
 // backwards-incompatible change to Bundle's shape. v2 added the health
-// timeline section.
-const SchemaVersion = "mvdb-flight/v2"
+// timeline section; v3 the hotspot report.
+const SchemaVersion = "mvdb-flight/v3"
 
 // Sources are the read-only taps the recorder samples. Stats is
 // required; every other tap is optional (nil omits its section from
@@ -67,6 +68,10 @@ type Sources struct {
 	// (oldest first) — what the rates and percentiles were doing in the
 	// minutes before the trigger.
 	Health func() []health.Point
+	// Hotspot returns the workload profiler's report — which keys and
+	// stripes were hot when the trigger fired (nil report omits the
+	// section).
+	Hotspot func() *hotspot.Report
 }
 
 // Options configures a Recorder.
@@ -115,6 +120,7 @@ type Bundle struct {
 	WaitGraph *lock.WaitGraph `json:"wait_graph,omitempty"`
 	Traces    []trace.Trace   `json:"traces,omitempty"`
 	Health    []health.Point  `json:"health,omitempty"`
+	Hotspot   *hotspot.Report `json:"hotspot,omitempty"`
 }
 
 // Recorder is the running black box. Create with New, stop with Close.
@@ -129,9 +135,10 @@ type Recorder struct {
 	ringPos int
 	ringN   int
 
-	seq       atomic.Uint64 // bundles written
-	lastAsync atomic.Int64  // unix ns of the last async-triggered bundle
-	lastPath  atomic.Value  // string: most recent bundle path
+	seq         atomic.Uint64 // bundles written
+	lastAsync   atomic.Int64  // unix ns of the last async-triggered bundle
+	lastPath    atomic.Value  // string: most recent bundle path
+	rateLimited atomic.Uint64 // async triggers suppressed by MinGap
 
 	triggers chan trigReq
 	quit     chan struct{}
@@ -243,6 +250,7 @@ func (r *Recorder) TriggerAsync(reason, detail string) {
 	now := time.Now().UnixNano()
 	last := r.lastAsync.Load()
 	if now-last < r.opts.MinGap.Nanoseconds() || !r.lastAsync.CompareAndSwap(last, now) {
+		r.rateLimited.Add(1)
 		return
 	}
 	select {
@@ -291,11 +299,20 @@ func (r *Recorder) assemble(reason, detail string) Bundle {
 	if r.src.Health != nil {
 		b.Health = r.src.Health()
 	}
+	if r.src.Hotspot != nil {
+		b.Hotspot = r.src.Hotspot()
+	}
 	return b
 }
 
 // Bundles returns how many bundles have been written.
 func (r *Recorder) Bundles() uint64 { return r.seq.Load() }
+
+// RateLimited returns how many TriggerAsync calls the MinGap limiter has
+// suppressed — the health timeline turns this into a per-interval rate
+// (a sustained nonzero rate means alarms are firing faster than bundles
+// can record them).
+func (r *Recorder) RateLimited() uint64 { return r.rateLimited.Load() }
 
 // LastBundle returns the most recently written bundle's path ("" if
 // none yet).

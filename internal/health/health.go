@@ -78,6 +78,15 @@ type Point struct {
 
 	AuditAlarms int64 `json:"audit_alarms"`
 	TraceDrops  int64 `json:"trace_drops"`
+
+	// Ring-drop deltas: how much observability data the interval lost.
+	// A sustained nonzero rate here means the postmortem layers are
+	// blind exactly when they are needed — worth an SLO (see
+	// DefaultHealthSLOs in the public package for an example).
+	TraceDropsRecent   int64 `json:"trace_drops_recent"`
+	TraceDropsPromoted int64 `json:"trace_drops_promoted"`
+	AuditQueueDrops    int64 `json:"audit_queue_drops"`
+	FlightRateLimited  int64 `json:"flight_rate_limited"`
 }
 
 // MetricNames lists every name Point.Metric resolves, in display order
@@ -92,6 +101,8 @@ var MetricNames = []string{
 	"visibility_lag", "vc_queue_len", "versions", "max_version_chain",
 	"goroutines", "heap_bytes", "wal_size_bytes", "checkpoint_age_s",
 	"audit_alarms", "trace_drops",
+	"trace_drops_recent", "trace_drops_promoted", "audit_queue_drops",
+	"flight_rate_limited",
 }
 
 // Metric returns the named scalar, or false for an unknown name.
@@ -143,6 +154,14 @@ func (p Point) Metric(name string) (float64, bool) {
 		return float64(p.AuditAlarms), true
 	case "trace_drops":
 		return float64(p.TraceDrops), true
+	case "trace_drops_recent":
+		return float64(p.TraceDropsRecent), true
+	case "trace_drops_promoted":
+		return float64(p.TraceDropsPromoted), true
+	case "audit_queue_drops":
+		return float64(p.AuditQueueDrops), true
+	case "flight_rate_limited":
+		return float64(p.FlightRateLimited), true
 	}
 	return 0, false
 }
@@ -173,6 +192,17 @@ type Sources struct {
 	// TraceDrops returns the span layer's lifetime dropped-trace count
 	// (promoted + recent rings).
 	TraceDrops func() uint64
+	// TraceDropsRecent and TraceDropsPromoted split TraceDrops by ring,
+	// so an SLO can distinguish "the cheap ring churned" (expected under
+	// load) from "promoted exemplars were lost" (the ring is undersized).
+	TraceDropsRecent   func() uint64
+	TraceDropsPromoted func() uint64
+	// AuditQueueDrops returns the auditor's lifetime dropped-observation
+	// count (its bounded queue overflowed).
+	AuditQueueDrops func() uint64
+	// FlightRateLimited returns the flight recorder's lifetime count of
+	// triggers suppressed by its MinGap rate limit.
+	FlightRateLimited func() uint64
 }
 
 // Options configures a Monitor.
@@ -241,16 +271,15 @@ type Monitor struct {
 	rwLat *metrics.Histogram
 	roLat *metrics.Histogram
 
-	mu        sync.Mutex
-	levels    []levelState
-	slos      []sloState
-	subs      []func(Signal)
-	havePrev  bool
-	prev      obs.Snapshot
-	prevAt    time.Time
-	prevLat   metrics.BucketCounts
-	prevAudit uint64
-	prevDrops uint64
+	mu       sync.Mutex
+	levels   []levelState
+	slos     []sloState
+	subs     []func(Signal)
+	havePrev bool
+	prev     obs.Snapshot
+	prevAt   time.Time
+	prevLat  metrics.BucketCounts
+	prevCtrs counters
 
 	points     atomic.Int64
 	alarmsWarn atomic.Int64
@@ -372,6 +401,31 @@ func (m *Monitor) Stop() {
 	}
 }
 
+// counters is the set of lifetime totals the Monitor samples alongside
+// the snapshot and diffs into per-interval deltas.
+type counters struct {
+	audit, drops                       uint64
+	dropsRecent, dropsPromoted         uint64
+	auditQueueDrops, flightRateLimited uint64
+}
+
+func (m *Monitor) sampleCounters() counters {
+	read := func(fn func() uint64) uint64 {
+		if fn == nil {
+			return 0
+		}
+		return fn()
+	}
+	return counters{
+		audit:             read(m.src.AuditAlarms),
+		drops:             read(m.src.TraceDrops),
+		dropsRecent:       read(m.src.TraceDropsRecent),
+		dropsPromoted:     read(m.src.TraceDropsPromoted),
+		auditQueueDrops:   read(m.src.AuditQueueDrops),
+		flightRateLimited: read(m.src.FlightRateLimited),
+	}
+}
+
 // Tick takes one sample at now: diff the snapshot against the previous
 // tick into a Point, push it down the resolution ladder, evaluate the
 // SLOs, and deliver the Signal. The first call only establishes the
@@ -380,25 +434,17 @@ func (m *Monitor) Stop() {
 func (m *Monitor) Tick(now time.Time) (Point, bool) {
 	sn := m.src.Stats()
 	lat := m.rwLat.Buckets()
-	var audit, drops uint64
-	if m.src.AuditAlarms != nil {
-		audit = m.src.AuditAlarms()
-	}
-	if m.src.TraceDrops != nil {
-		drops = m.src.TraceDrops()
-	}
+	ctrs := m.sampleCounters()
 
 	m.mu.Lock()
 	if !m.havePrev {
 		m.havePrev = true
-		m.prev, m.prevAt, m.prevLat = sn, now, lat
-		m.prevAudit, m.prevDrops = audit, drops
+		m.prev, m.prevAt, m.prevLat, m.prevCtrs = sn, now, lat, ctrs
 		m.mu.Unlock()
 		return Point{}, false
 	}
-	p := diffPoint(m.prev, sn, m.prevAt, now, &m.prevLat, &lat, audit-m.prevAudit, drops-m.prevDrops)
-	m.prev, m.prevAt, m.prevLat = sn, now, lat
-	m.prevAudit, m.prevDrops = audit, drops
+	p := diffPoint(m.prev, sn, m.prevAt, now, &m.prevLat, &lat, m.prevCtrs, ctrs)
+	m.prev, m.prevAt, m.prevLat, m.prevCtrs = sn, now, lat, ctrs
 	m.push(p)
 	alarms := m.evaluateSLOs(p)
 	subs := m.subs
@@ -447,7 +493,7 @@ func (m *Monitor) push(p Point) {
 }
 
 // diffPoint computes the interval point between two snapshots.
-func diffPoint(prev, cur obs.Snapshot, prevAt, now time.Time, prevLat, lat *metrics.BucketCounts, auditDelta, dropsDelta uint64) Point {
+func diffPoint(prev, cur obs.Snapshot, prevAt, now time.Time, prevLat, lat *metrics.BucketCounts, prevCtrs, ctrs counters) Point {
 	sec := now.Sub(prevAt).Seconds()
 	if sec <= 0 {
 		sec = 1e-9 // degenerate clock; keep rates finite
@@ -484,8 +530,12 @@ func diffPoint(prev, cur obs.Snapshot, prevAt, now time.Time, prevLat, lat *metr
 		Goroutines:      cur.Goroutines,
 		WALSizeBytes:    cur.WALSizeBytes,
 
-		AuditAlarms: int64(auditDelta),
-		TraceDrops:  int64(dropsDelta),
+		AuditAlarms:        int64(ctrs.audit - prevCtrs.audit),
+		TraceDrops:         int64(ctrs.drops - prevCtrs.drops),
+		TraceDropsRecent:   int64(ctrs.dropsRecent - prevCtrs.dropsRecent),
+		TraceDropsPromoted: int64(ctrs.dropsPromoted - prevCtrs.dropsPromoted),
+		AuditQueueDrops:    int64(ctrs.auditQueueDrops - prevCtrs.auditQueueDrops),
+		FlightRateLimited:  int64(ctrs.flightRateLimited - prevCtrs.flightRateLimited),
 	}
 	if aborts > 0 && ops > 0 {
 		p.AbortFrac = float64(aborts) / float64(ops)
@@ -537,10 +587,16 @@ func mergePoints(pts []Point) Point {
 	out.GCReclaimRate = wmean(func(p Point) float64 { return p.GCReclaimRate })
 	out.FsyncPerCommit = wmean(func(p Point) float64 { return p.FsyncPerCommit })
 	out.Ops, out.AuditAlarms, out.TraceDrops = 0, 0, 0
+	out.TraceDropsRecent, out.TraceDropsPromoted = 0, 0
+	out.AuditQueueDrops, out.FlightRateLimited = 0, 0
 	for _, p := range pts {
 		out.Ops += p.Ops
 		out.AuditAlarms += p.AuditAlarms
 		out.TraceDrops += p.TraceDrops
+		out.TraceDropsRecent += p.TraceDropsRecent
+		out.TraceDropsPromoted += p.TraceDropsPromoted
+		out.AuditQueueDrops += p.AuditQueueDrops
+		out.FlightRateLimited += p.FlightRateLimited
 		if p.CommitP50NS > out.CommitP50NS {
 			out.CommitP50NS = p.CommitP50NS
 		}

@@ -1,0 +1,238 @@
+package hotspot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSketchAccuracy feeds a skewed stream and checks the Space-Saving
+// guarantees: every true heavy hitter is present, counts never
+// underestimate, and the error bound holds.
+func TestSketchAccuracy(t *testing.T) {
+	s := newSketch(16)
+	truth := map[string]uint64{}
+	total := uint64(0)
+	// 4 heavy keys at 1000 touches each over 64 light keys at 10 each:
+	// heavy frequency 1000 > total/cap = 4640/16 = 290.
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("hot-%d", i)
+		for j := 0; j < 1000; j++ {
+			s.Touch(key, 1)
+			truth[key]++
+			total++
+		}
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("cold-%02d", i)
+		for j := 0; j < 10; j++ {
+			s.Touch(key, 1)
+			truth[key]++
+			total++
+		}
+	}
+	top := s.Top(4)
+	if len(top) != 4 {
+		t.Fatalf("Top(4) returned %d entries", len(top))
+	}
+	for _, hk := range top {
+		want := truth[hk.Key]
+		if want != 1000 {
+			t.Errorf("top-4 contains non-heavy key %q (true count %d)", hk.Key, want)
+		}
+		if hk.Count < want {
+			t.Errorf("key %q: count %d underestimates true %d", hk.Key, hk.Count, want)
+		}
+		if hk.Count-hk.Err > want {
+			t.Errorf("key %q: count-err %d exceeds true %d", hk.Key, hk.Count-hk.Err, want)
+		}
+	}
+	// Any key above total/cap must be present (Space-Saving guarantee).
+	threshold := total / uint64(s.cap)
+	present := map[string]bool{}
+	for _, hk := range s.Top(0) {
+		present[hk.Key] = true
+	}
+	for key, n := range truth {
+		if n > threshold && !present[key] {
+			t.Errorf("heavy key %q (count %d > threshold %d) missing from sketch", key, n, threshold)
+		}
+	}
+}
+
+// TestSketchEviction checks the min-eviction rule: a newcomer to a full
+// sketch inherits the minimum count as its overestimation bound.
+func TestSketchEviction(t *testing.T) {
+	s := newSketch(2)
+	s.Touch("a", 5)
+	s.Touch("b", 3)
+	s.Touch("c", 1) // evicts b (min=3); c enters with count 4, err 3
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	top := s.Top(0)
+	byKey := map[string]HotKey{}
+	for _, hk := range top {
+		byKey[hk.Key] = hk
+	}
+	if _, ok := byKey["b"]; ok {
+		t.Errorf("min entry b survived eviction: %+v", top)
+	}
+	c, ok := byKey["c"]
+	if !ok {
+		t.Fatalf("newcomer c missing: %+v", top)
+	}
+	if c.Count != 4 || c.Err != 3 {
+		t.Errorf("c = count %d err %d, want count 4 err 3", c.Count, c.Err)
+	}
+	if a := byKey["a"]; a.Count != 5 || a.Err != 0 {
+		t.Errorf("a = count %d err %d, want count 5 err 0", a.Count, a.Err)
+	}
+}
+
+// TestProfilerTopKReport drives the full touch path at SampleEvery=1
+// and checks the report surfaces the hot keys and conflict pairs.
+func TestProfilerTopKReport(t *testing.T) {
+	p := New(Options{TopK: 8, SampleEvery: 1})
+	p.BindStripes(4)
+	for i := 0; i < 100; i++ {
+		p.TouchWrite("hot-w")
+		p.TouchRead("hot-r")
+	}
+	p.TouchWrite("cold-w")
+	p.RecordConflict("deadlock", "hot-w")
+	p.RecordConflict("deadlock", "hot-w")
+	p.RecordConflict("occ-validate", "other")
+	p.RecordStripeWait(1, 3*time.Millisecond)
+	p.RecordWound(1)
+	p.RecordHold(2, time.Millisecond)
+	p.RecordChainDepth(7)
+	p.RecordSnapshotAge(42)
+
+	r := p.Report()
+	if !r.Enabled {
+		t.Fatal("report not enabled")
+	}
+	if len(r.HotWrites) == 0 || r.HotWrites[0].Key != "hot-w" || r.HotWrites[0].Count != 100 {
+		t.Errorf("hot writes = %+v, want hot-w count 100 first", r.HotWrites)
+	}
+	if len(r.HotReads) == 0 || r.HotReads[0].Key != "hot-r" {
+		t.Errorf("hot reads = %+v, want hot-r first", r.HotReads)
+	}
+	if len(r.Conflicts) == 0 || r.Conflicts[0].Cause != "deadlock" || r.Conflicts[0].Key != "hot-w" || r.Conflicts[0].Count != 2 {
+		t.Errorf("conflicts = %+v, want deadlock/hot-w count 2 first", r.Conflicts)
+	}
+	if r.TotalStripes != 4 || len(r.Stripes) != 2 {
+		t.Errorf("stripes = total %d active %d, want 4/2", r.TotalStripes, len(r.Stripes))
+	}
+	for _, sh := range r.Stripes {
+		switch sh.Stripe {
+		case 1:
+			if sh.Waits != 1 || sh.WaitNanos != (3*time.Millisecond).Nanoseconds() || sh.Wounds != 1 {
+				t.Errorf("stripe 1 heat = %+v", sh)
+			}
+		case 2:
+			if sh.HoldNanos != time.Millisecond.Nanoseconds() {
+				t.Errorf("stripe 2 heat = %+v", sh)
+			}
+		default:
+			t.Errorf("unexpected active stripe %+v", sh)
+		}
+	}
+	if r.ChainDepth.Count != 1 || r.ChainDepth.Max != 7 {
+		t.Errorf("chain depth = %+v", r.ChainDepth)
+	}
+	if r.SnapshotAge.Count != 1 || r.SnapshotAge.Max != 42 {
+		t.Errorf("snapshot age = %+v", r.SnapshotAge)
+	}
+}
+
+// TestProfilerSampling checks the 1-in-N gate: sampled + shed accounts
+// for exactly the touches that hit the sampling residue.
+func TestProfilerSampling(t *testing.T) {
+	p := New(Options{TopK: 8, SampleEvery: 4})
+	for i := 0; i < 100; i++ {
+		p.TouchWrite("k")
+	}
+	r := p.Report()
+	if r.Touches != 100 {
+		t.Errorf("touches = %d, want 100", r.Touches)
+	}
+	if r.Sampled+r.Shed != 25 {
+		t.Errorf("sampled %d + shed %d = %d, want 25", r.Sampled, r.Shed, r.Sampled+r.Shed)
+	}
+}
+
+// TestProfilerNil checks that every method is a no-op on a nil
+// profiler — the disabled hot path.
+func TestProfilerNil(t *testing.T) {
+	var p *Profiler
+	p.TouchRead("k")
+	p.TouchWrite("k")
+	p.RecordConflict("c", "k")
+	p.RecordStripeWait(0, time.Millisecond)
+	p.RecordWound(0)
+	p.RecordHold(0, time.Millisecond)
+	p.RecordChainDepth(1)
+	p.RecordSnapshotAge(1)
+	p.BindStripes(4)
+	p.BindVC(nil, nil, nil)
+	if r := p.Report(); r != nil {
+		t.Errorf("nil profiler reported %+v", r)
+	}
+}
+
+// TestProfilerConcurrent hammers every recording path from many
+// goroutines while a reader snapshots — the -race certification.
+func TestProfilerConcurrent(t *testing.T) {
+	p := New(Options{TopK: 8, SampleEvery: 2})
+	p.BindStripes(8)
+	p.BindVC(
+		func() []uint64 { return []uint64{3, 1, 2} },
+		func() uint64 { return 9 },
+		func() uint64 { return 5 },
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%3)
+			for i := 0; i < 2000; i++ {
+				p.TouchRead(key)
+				p.TouchWrite(key)
+				if i%100 == 0 {
+					p.RecordConflict("conflict", key)
+					p.RecordStripeWait(g, time.Microsecond)
+					p.RecordWound(g)
+					p.RecordHold(g, time.Microsecond)
+					p.RecordChainDepth(i % 10)
+					p.RecordSnapshotAge(uint64(i))
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = p.Report()
+		}
+	}()
+	wg.Wait()
+	<-done
+	r := p.Report()
+	if r.Touches != 8*2000*2 {
+		t.Errorf("touches = %d, want %d", r.Touches, 8*2000*2)
+	}
+	if r.Sampled+r.Shed != r.Touches/2 {
+		t.Errorf("sampled %d + shed %d != touches/2 %d", r.Sampled, r.Shed, r.Touches/2)
+	}
+	if r.StallLane != 1 {
+		t.Errorf("stall lane = %d, want 1 (min frontier)", r.StallLane)
+	}
+	if r.Epoch != 9 || r.Watermark != 5 {
+		t.Errorf("epoch/watermark = %d/%d, want 9/5", r.Epoch, r.Watermark)
+	}
+}

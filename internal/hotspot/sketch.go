@@ -1,0 +1,70 @@
+package hotspot
+
+import "sort"
+
+// sketch is a Space-Saving heavy-hitter summary (Metwally, Agrawal,
+// El Abbadi, "Efficient computation of frequent and top-k elements in
+// data streams"). It keeps at most cap counters; when a new key arrives
+// with the table full, the minimum counter is evicted and the newcomer
+// inherits its count as an overestimation bound (Err). The guarantee:
+// any key whose true frequency exceeds N/cap is present, and for every
+// entry trueCount <= Count and Count - Err <= trueCount.
+//
+// cap is small (tens), so min-finding is a linear scan — cheaper and
+// simpler than a heap at this size, and the whole structure fits in a
+// few cache lines of map overhead.
+type sketch struct {
+	cap      int
+	counters map[string]*ssCounter
+}
+
+type ssCounter struct {
+	count uint64
+	err   uint64
+}
+
+func newSketch(capacity int) *sketch {
+	return &sketch{cap: capacity, counters: make(map[string]*ssCounter, capacity)}
+}
+
+// Touch records n occurrences of key.
+func (s *sketch) Touch(key string, n uint64) {
+	if c, ok := s.counters[key]; ok {
+		c.count += n
+		return
+	}
+	if len(s.counters) < s.cap {
+		s.counters[key] = &ssCounter{count: n}
+		return
+	}
+	var minKey string
+	var min *ssCounter
+	for k, c := range s.counters {
+		if min == nil || c.count < min.count {
+			minKey, min = k, c
+		}
+	}
+	delete(s.counters, minKey)
+	s.counters[key] = &ssCounter{count: min.count + n, err: min.count}
+}
+
+// Top returns up to k entries by descending count. Ties break on key so
+// the output is deterministic.
+func (s *sketch) Top(k int) []HotKey {
+	out := make([]HotKey, 0, len(s.counters))
+	for key, c := range s.counters {
+		out = append(out, HotKey{Key: key, Count: c.count, Err: c.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (s *sketch) Len() int { return len(s.counters) }

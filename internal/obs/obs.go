@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mvdb/internal/hotspot"
 	"mvdb/internal/metrics"
 )
 
@@ -245,6 +246,18 @@ type Snapshot struct {
 	// group-commit fsync wait, version install, register→visible lag.
 	Phases []PhaseSummary `json:"phases,omitempty"`
 
+	// Hotspot is the workload profiler's report (nil unless
+	// Options.Hotspot): heavy-hitter keys, per-stripe contention heat,
+	// conflict pairs, chain-depth/snapshot-age distributions, and
+	// epoch-lane occupancy.
+	Hotspot *hotspot.Report `json:"hotspot,omitempty"`
+
+	// Adaptive is the adaptive controller's state (nil unless the
+	// database runs under AdaptiveCC): protocol switches, health
+	// signals consumed, knob actions taken, current knob values, and
+	// the recommended stripe count for the next boot.
+	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
+
 	// Process health: liveness basics for dashboards and the future
 	// server binary. UptimeSeconds counts from the engine's stats
 	// registry creation; GoVersion/BuildRevision identify the build
@@ -258,6 +271,31 @@ type Snapshot struct {
 	// Extra carries engine-specific counters with no typed field
 	// (adaptive switches, distributed bus traffic, ...).
 	Extra map[string]int64 `json:"extra,omitempty"`
+}
+
+// AdaptiveInfo is the adaptive engine's typed snapshot section. It is
+// defined here rather than in internal/adaptive because adaptive sits
+// above core, which sits above obs — the data flows down into the
+// snapshot the same way Extra does, but with structure.
+type AdaptiveInfo struct {
+	// Protocol is the concurrency control currently in force.
+	Protocol string `json:"protocol"`
+	// Switches counts protocol switches; HealthSignals the health
+	// signals consumed; KnobActions the online knob adjustments taken.
+	Switches      int64 `json:"switches"`
+	HealthSignals int64 `json:"health_signals"`
+	KnobActions   int64 `json:"knob_actions"`
+	// Current knob values (zero when the corresponding target is not
+	// wired): WAL group-commit gather bounds and the epoch
+	// publish-coalescing factor.
+	BatchMaxRecords int   `json:"batch_max_records,omitempty"`
+	BatchMaxDelayNS int64 `json:"batch_max_delay_ns,omitempty"`
+	PublishEvery    int   `json:"publish_every,omitempty"`
+	// RecommendedStripes is the controller's boot-time advice (0 = no
+	// recommendation): the lock-stripe count it would pick given the
+	// observed per-stripe skew. Stripes are recommend-only because the
+	// stripe table is sized at construction — see DESIGN.md §13.
+	RecommendedStripes int `json:"recommended_stripes,omitempty"`
 }
 
 // Snapshot reads the registry. Reads are ordered so that a snapshot

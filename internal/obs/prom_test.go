@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"mvdb/internal/hotspot"
 	"mvdb/internal/metrics"
 )
 
@@ -230,6 +231,8 @@ func TestWritePromCompleteness(t *testing.T) {
 		"MeanVersionChain":          "mvdb_version_chain_mean",
 		"StoreWaits":                "mvdb_store_waits_total",
 		"Phases":                    "mvdb_phase_seconds",
+		"Hotspot":                   "mvdb_hotspot_touches_total",
+		"Adaptive":                  "mvdb_adaptive_info",
 		"Goroutines":                "mvdb_goroutines",
 		"GOMAXPROCS":                "mvdb_gomaxprocs",
 		"UptimeSeconds":             "mvdb_uptime_seconds",
@@ -287,6 +290,34 @@ func TestWritePromCompleteness(t *testing.T) {
 			}}))
 		case f.Type == reflect.TypeOf(map[string]int64(nil)):
 			fv.Set(reflect.ValueOf(map[string]int64{"adaptive.switches": 1}))
+		case f.Type == reflect.TypeOf((*hotspot.Report)(nil)):
+			fv.Set(reflect.ValueOf(&hotspot.Report{
+				Enabled:     true,
+				TopK:        4,
+				SampleEvery: 1,
+				Touches:     10,
+				Sampled:     9,
+				Shed:        1,
+				HotReads:    []hotspot.HotKey{{Key: "r", Count: 5}},
+				HotWrites:   []hotspot.HotKey{{Key: "w", Count: 6, Err: 1}},
+				Conflicts:   []hotspot.HotPair{{Cause: "deadlock", Key: "w", Count: 2}},
+				Stripes:     []hotspot.StripeHeat{{Stripe: 1, Waits: 3, WaitNanos: 1e6, Wounds: 1, HoldNanos: 2e6}},
+				ChainDepth:  metrics.Summary{Count: 1, P50: 2, P99: 2, Max: 2, TotalNanoseconds: 2},
+				SnapshotAge: metrics.Summary{Count: 1, P50: 3, P99: 3, Max: 3, TotalNanoseconds: 3},
+				Lanes:       []uint64{4, 2},
+				StallLane:   1,
+			}))
+		case f.Type == reflect.TypeOf((*AdaptiveInfo)(nil)):
+			fv.Set(reflect.ValueOf(&AdaptiveInfo{
+				Protocol:           "vc+2pl",
+				Switches:           1,
+				HealthSignals:      2,
+				KnobActions:        3,
+				BatchMaxRecords:    128,
+				BatchMaxDelayNS:    500_000,
+				PublishEvery:       2,
+				RecommendedStripes: 64,
+			}))
 		case fv.CanInt():
 			fv.SetInt(7)
 		case fv.CanUint():
@@ -325,5 +356,31 @@ func TestWritePromCompleteness(t *testing.T) {
 	// The phase exemplar gauge rides the Phases field too.
 	if !emitted["mvdb_phase_slowest_tx"] {
 		t.Errorf("mvdb_phase_slowest_tx missing from exposition")
+	}
+	// The hotspot and adaptive sections fan out into sub-families that
+	// ride their anchor fields; a populated report must emit them all.
+	for _, fam := range []string{
+		"mvdb_hotspot_sample_every",
+		"mvdb_hotspot_key_touches",
+		"mvdb_hotspot_conflicts",
+		"mvdb_hotspot_stripe_waits_total",
+		"mvdb_hotspot_stripe_wait_seconds_total",
+		"mvdb_hotspot_stripe_wounds_total",
+		"mvdb_hotspot_stripe_hold_seconds_total",
+		"mvdb_hotspot_chain_depth",
+		"mvdb_hotspot_snapshot_age",
+		"mvdb_hotspot_lane_frontier",
+		"mvdb_hotspot_stall_lane",
+		"mvdb_adaptive_switches_total",
+		"mvdb_adaptive_health_signals_total",
+		"mvdb_adaptive_knob_actions_total",
+		"mvdb_adaptive_batch_max_records",
+		"mvdb_adaptive_batch_max_delay_seconds",
+		"mvdb_adaptive_publish_every",
+		"mvdb_adaptive_recommended_stripes",
+	} {
+		if !emitted[fam] {
+			t.Errorf("%s missing from exposition", fam)
+		}
 	}
 }

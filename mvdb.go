@@ -45,10 +45,12 @@ import (
 	"mvdb/internal/flight"
 	"mvdb/internal/gc"
 	"mvdb/internal/health"
+	"mvdb/internal/hotspot"
 	"mvdb/internal/lock"
 	"mvdb/internal/obs"
 	"mvdb/internal/trace"
 	"mvdb/internal/vc"
+	"mvdb/internal/vc/epoch"
 	"mvdb/internal/wal"
 )
 
@@ -266,6 +268,23 @@ type Options struct {
 	// FlightInterval is the flight recorder's background sampling
 	// cadence (0 = 1s).
 	FlightInterval time.Duration
+	// Hotspot enables the contention cartographer: a lock-free sampling
+	// profiler that keeps heavy-hitter sketches of hot keys (reads and
+	// writes separately), a per-stripe lock-contention heatmap, conflict
+	// pairs (abort cause × key), version-chain-depth and snapshot-age
+	// distributions, and — under VisibilityEpoch — per-lane occupancy
+	// with watermark-stall attribution. The report appears in
+	// Stats().Hotspot, /metrics (mvdb_hotspot_*), flight bundles, and
+	// GET /debug/mvdb/hotspot (render live with `mvinspect -hotspots`).
+	// Under AdaptiveCC with Health it also feeds the knob controller.
+	// Off — the default — keeps every hot-path hook at one pointer test.
+	Hotspot bool
+	// HotspotTopK is the heavy-hitter sketch capacity — how many hot
+	// keys each report ranks (0 = hotspot.DefaultTopK).
+	HotspotTopK int
+	// HotspotSampleEvery samples one in N key touches into the sketches
+	// (0 = hotspot.DefaultSampleEvery; 1 = every touch, for tests).
+	HotspotSampleEvery int
 	// Health enables the windowed health timeline: a background monitor
 	// diffs Stats every HealthInterval into per-interval rates, interval
 	// commit-latency percentiles and gauges, retained in bounded
@@ -351,13 +370,14 @@ type DB struct {
 	ad        *adaptive.Engine // non-nil when AdaptiveCC
 	collector *gc.Collector
 	log       *wal.Writer
-	tracer    *obs.Tracer      // nil unless DebugAddr/TraceEvents
-	spans     *trace.Tracer    // nil unless TraceSample > 0
-	auditor   *audit.Auditor   // nil unless Options.Audit
-	flightRec *flight.Recorder // nil unless Options.FlightDir
-	monitor   *health.Monitor  // nil unless Options.Health
-	dbg       *obs.DebugServer // nil unless DebugAddr
-	fs        faultfs.FS       // Options.FS (nil = real filesystem)
+	tracer    *obs.Tracer       // nil unless DebugAddr/TraceEvents
+	spans     *trace.Tracer     // nil unless TraceSample > 0
+	auditor   *audit.Auditor    // nil unless Options.Audit
+	hot       *hotspot.Profiler // nil unless Options.Hotspot
+	flightRec *flight.Recorder  // nil unless Options.FlightDir
+	monitor   *health.Monitor   // nil unless Options.Health
+	dbg       *obs.DebugServer  // nil unless DebugAddr
+	fs        faultfs.FS        // Options.FS (nil = real filesystem)
 	walPath   string
 	retries   int
 	closed    bool
@@ -423,6 +443,15 @@ func Open(opts Options) (*DB, error) {
 			},
 		})
 	}
+	// The hotspot profiler exists before the engine so core.New can hand
+	// it to every transaction path and bind the stripe/VC taps.
+	var prof *hotspot.Profiler
+	if opts.Hotspot {
+		prof = hotspot.New(hotspot.Options{
+			TopK:        opts.HotspotTopK,
+			SampleEvery: opts.HotspotSampleEvery,
+		})
+	}
 	coreOpts := core.Options{
 		Protocol:      coreProtocol(opts.Protocol),
 		Visibility:    vcMode(opts.VisibilityMode),
@@ -434,6 +463,7 @@ func Open(opts Options) (*DB, error) {
 		Trace:         tracer,
 		PhaseTiming:   opts.PhaseTiming,
 		Traces:        spans,
+		Hotspot:       prof,
 	}
 	if auditor != nil {
 		coreOpts.Recorder = auditor
@@ -472,10 +502,23 @@ func Open(opts Options) (*DB, error) {
 	engVC := eng.VC()
 	auditVC.Store(&engVC)
 
-	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, fs: opts.FS, walPath: opts.WALPath, retries: retries}
+	db := &DB{eng: eng, rw: eng, log: log, tracer: tracer, spans: spans, auditor: auditor, hot: prof, fs: opts.FS, walPath: opts.WALPath, retries: retries}
 	if opts.AdaptiveCC {
 		eng.SetProtocol(core.Optimistic)
-		db.ad = adaptive.Wrap(eng, adaptive.Options{})
+		adOpts := adaptive.Options{Ring: tracer}
+		// Knob-controller taps: the group-commit WAL and (under epoch
+		// visibility) the publisher's coalescing factor. Typed-nil care:
+		// an interface holding a nil *wal.Writer is not nil.
+		if log != nil && opts.GroupCommit {
+			adOpts.WAL = log
+		}
+		if ec, ok := eng.VC().(*epoch.Controller); ok {
+			adOpts.Epoch = ec
+		}
+		if prof != nil {
+			adOpts.Hotspot = prof.Report
+		}
+		db.ad = adaptive.Wrap(eng, adOpts)
 		db.rw = db.ad
 	}
 	// The collector always exists (CollectGarbage works without background
@@ -487,12 +530,22 @@ func Open(opts Options) (*DB, error) {
 		st.GCPasses.Inc()
 		st.GCReclaimed.Add(int64(reclaimed))
 		st.GCBacklog.Record(int64(reclaimed))
+		if prof != nil {
+			// Snapshot age: how far the GC watermark (the oldest snapshot
+			// still pinning versions) trails the visibility horizon.
+			if vtnc := eng.VC().VTNC(); vtnc > watermark {
+				prof.RecordSnapshotAge(vtnc - watermark)
+			} else {
+				prof.RecordSnapshotAge(0)
+			}
+		}
 		tracer.Record(obs.Event{
 			Type: obs.EvGC, TN: watermark, N: int64(reclaimed), Dur: elapsed.Nanoseconds(),
 		})
 	})
 	db.collector.SetChainObserver(func(depth int) {
 		eng.Obs().GCChainDepth.Record(int64(depth))
+		prof.RecordChainDepth(depth)
 	})
 	if opts.GCInterval > 0 {
 		db.collector.Start()
@@ -513,6 +566,20 @@ func Open(opts Options) (*DB, error) {
 			TraceDrops: func() uint64 {
 				st := spans.Stats() // nil-safe: zero stats without tracing
 				return st.DroppedRecent + st.DroppedPromoted
+			},
+			TraceDropsRecent:   func() uint64 { return spans.Stats().DroppedRecent },
+			TraceDropsPromoted: func() uint64 { return spans.Stats().DroppedPromoted },
+			AuditQueueDrops: func() uint64 {
+				if auditor == nil {
+					return 0
+				}
+				return auditor.Dropped()
+			},
+			FlightRateLimited: func() uint64 {
+				if r := flightRec.Load(); r != nil {
+					return r.RateLimited()
+				}
+				return 0
 			},
 		}, health.Options{
 			Interval: opts.HealthInterval,
@@ -564,6 +631,9 @@ func Open(opts Options) (*DB, error) {
 		if db.monitor != nil {
 			src.Health = func() []health.Point { return db.monitor.Points(0, 0) }
 		}
+		if prof != nil {
+			src.Hotspot = prof.Report
+		}
 		rec, err := flight.New(src, flight.Options{Dir: opts.FlightDir, Interval: opts.FlightInterval})
 		if err != nil {
 			db.Close()
@@ -591,6 +661,10 @@ func Open(opts Options) (*DB, error) {
 			serveOpts = append(serveOpts,
 				obs.WithHandler("/debug/mvdb/health", db.monitor.HTTPHandler()),
 				obs.WithPromExtra(db.monitor.WriteProm))
+		}
+		if prof != nil {
+			serveOpts = append(serveOpts,
+				obs.WithHandler("/debug/mvdb/hotspot", prof.HTTPHandler()))
 		}
 		dbg, err := obs.Serve(opts.DebugAddr, db.Stats, tracer, serveOpts...)
 		if err != nil {
@@ -752,9 +826,27 @@ func (db *DB) Update(fn func(*Tx) error) error {
 func (db *DB) Stats() Stats {
 	sn := db.eng.Snapshot()
 	if db.ad != nil {
+		info := &obs.AdaptiveInfo{
+			Protocol:           db.eng.Protocol().String(),
+			Switches:           int64(db.ad.Switches()),
+			HealthSignals:      int64(db.ad.HealthSignals()),
+			KnobActions:        int64(db.ad.KnobActions()),
+			RecommendedStripes: db.ad.RecommendedStripes(),
+		}
+		if db.log != nil {
+			recs, delay := db.log.BatchKnobs()
+			info.BatchMaxRecords = recs
+			info.BatchMaxDelayNS = delay.Nanoseconds()
+		}
+		if ec, ok := db.eng.VC().(*epoch.Controller); ok {
+			info.PublishEvery = ec.PublishEvery()
+		}
+		sn.Adaptive = info
 		sn.Extra = map[string]int64{
-			"adaptive.switches":       int64(db.ad.Switches()),
-			"adaptive.health_signals": int64(db.ad.HealthSignals()),
+			"adaptive.switches":            int64(db.ad.Switches()),
+			"adaptive.health_signals":      int64(db.ad.HealthSignals()),
+			"adaptive.knob_actions":        int64(db.ad.KnobActions()),
+			"adaptive.recommended_stripes": int64(db.ad.RecommendedStripes()),
 		}
 	}
 	return sn
@@ -787,6 +879,16 @@ func (db *DB) Flight() *Flight { return db.flightRec }
 // live with `mvinspect -health`.
 func (db *DB) Health() *HealthMonitor { return db.monitor }
 
+// HotspotReport is the workload profiler's point-in-time report (see
+// Options.Hotspot): ranked hot keys, conflict pairs, the per-stripe
+// contention heatmap, chain-depth/snapshot-age distributions, and epoch
+// lane occupancy.
+type HotspotReport = hotspot.Report
+
+// Hotspots returns the profiler's current report, or nil when
+// Options.Hotspot was off. Render live with `mvinspect -hotspots`.
+func (db *DB) Hotspots() *HotspotReport { return db.hot.Report() }
+
 // DefaultHealthSLOs is the objective set Options.Health uses when
 // Options.HealthSLOs is empty: ceilings generous enough that a healthy
 // engine under load never pages, tight enough that a stalled fsync,
@@ -794,6 +896,14 @@ func (db *DB) Health() *HealthMonitor { return db.monitor }
 // visibility-lag ceiling applies under either visibility mode: under
 // strict it bounds the drain backlog, under epoch the watermark lag —
 // either way a breach means completed work is not becoming visible.
+//
+// The timeline also carries per-interval observability-loss rates
+// (trace_drops_recent, trace_drops_promoted, audit_queue_drops,
+// flight_rate_limited) that the default set leaves unguarded. To be
+// paged when postmortem evidence is being lost — promoted traces
+// overwritten faster than they are read — append an objective like:
+//
+//	mvdb.HealthSLO{Name: "trace-loss", Metric: "trace_drops_promoted", Max: 0}
 func DefaultHealthSLOs() []HealthSLO {
 	return []HealthSLO{
 		{Name: "commit-p99", Metric: "commit_p99_ns", Max: 250e6},
